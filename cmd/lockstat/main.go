@@ -1,0 +1,128 @@
+// Command lockstat runs the baseline contention loop for a single lock or
+// fetch-and-op protocol at one contention level and prints detailed
+// statistics: per-operation overhead, protocol changes, memory-system
+// counters. It is the tuning tool Section 3.7.2 prescribes for profiling
+// component protocols on a new machine before configuring a reactive
+// algorithm's switching policy.
+//
+// Usage:
+//
+//	lockstat -kind lock -proto reactive -procs 16 -iters 200
+//	lockstat -kind fop  -proto combining-tree -procs 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fetchop"
+	"repro/internal/machine"
+	"repro/internal/spinlock"
+)
+
+func main() {
+	kind := flag.String("kind", "lock", "object kind: lock or fop")
+	proto := flag.String("proto", "reactive", "protocol (lock: test&set, test&test&set, mcs, mp-queue, reactive; fop: tts-lock, queue-lock, combining-tree, mp-central, mp-combining-tree, reactive)")
+	procs := flag.Int("procs", 16, "contending processors")
+	machineProcs := flag.Int("machine", 64, "machine size in processors")
+	iters := flag.Int("iters", 100, "operations per processor")
+	cs := flag.Uint64("cs", 100, "critical-section length in cycles (lock kind)")
+	think := flag.Int("think", 500, "max random think time in cycles")
+	flag.Parse()
+
+	if *procs > *machineProcs {
+		fmt.Fprintln(os.Stderr, "procs exceeds machine size")
+		os.Exit(2)
+	}
+	m := machine.New(machine.DefaultConfig(*machineProcs))
+	var end machine.Time
+	var changes func() uint64 = func() uint64 { return 0 }
+
+	work := func(c *machine.CPU, op func(c *machine.CPU)) {
+		for i := 0; i < *iters; i++ {
+			op(c)
+			if *think > 0 {
+				c.Advance(machine.Time(c.Rand().Intn(*think)))
+			}
+		}
+		if c.Now() > end {
+			end = c.Now()
+		}
+	}
+
+	switch *kind {
+	case "lock":
+		var l spinlock.Lock
+		switch *proto {
+		case "test&set":
+			l = spinlock.NewTAS(m.Mem, 0, spinlock.DefaultBackoff)
+		case "test&test&set":
+			l = spinlock.NewTTS(m.Mem, 0, spinlock.DefaultBackoff)
+		case "mcs":
+			l = spinlock.NewMCS(m.Mem, 0)
+		case "mp-queue":
+			l = spinlock.NewMPQueue(0)
+		case "reactive":
+			rl := core.NewReactiveLock(m.Mem, 0)
+			changes = func() uint64 { return rl.Changes }
+			l = rl
+		default:
+			fmt.Fprintf(os.Stderr, "unknown lock protocol %q\n", *proto)
+			os.Exit(2)
+		}
+		for p := 0; p < *procs; p++ {
+			m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+				work(c, func(c *machine.CPU) {
+					h := l.Acquire(c)
+					c.Advance(*cs)
+					l.Release(c, h)
+				})
+			})
+		}
+	case "fop":
+		var f fetchop.FetchOp
+		switch *proto {
+		case "tts-lock":
+			f = fetchop.NewTTSLockFOP(m.Mem, 0)
+		case "queue-lock":
+			f = fetchop.NewQueueLockFOP(m.Mem, 0)
+		case "combining-tree":
+			f = fetchop.NewCombTree(m.Mem, *machineProcs, 0)
+		case "mp-central":
+			f = fetchop.NewMPCentral(0)
+		case "mp-combining-tree":
+			f = fetchop.NewMPCombTree(m, *machineProcs, 0)
+		case "reactive":
+			rf := core.NewReactiveFetchOp(m.Mem, 0, *machineProcs)
+			changes = func() uint64 { return rf.Changes }
+			f = rf
+		default:
+			fmt.Fprintf(os.Stderr, "unknown fetch-and-op protocol %q\n", *proto)
+			os.Exit(2)
+		}
+		for p := 0; p < *procs; p++ {
+			m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+				work(c, func(c *machine.CPU) { f.FetchAdd(c, 1) })
+			})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if err := m.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	total := uint64(*procs) * uint64(*iters)
+	fmt.Printf("protocol          %s/%s\n", *kind, *proto)
+	fmt.Printf("processors        %d of %d\n", *procs, *machineProcs)
+	fmt.Printf("operations        %d\n", total)
+	fmt.Printf("elapsed cycles    %d\n", end)
+	fmt.Printf("cycles/op         %.1f\n", float64(end)/float64(total))
+	fmt.Printf("protocol changes  %d\n", changes())
+	fmt.Printf("memory: reads=%d writes=%d rmws=%d misses=%d invals=%d traps=%d\n",
+		m.Mem.Reads, m.Mem.Writes, m.Mem.RMWs, m.Mem.Misses, m.Mem.Invals, m.Mem.Traps)
+}

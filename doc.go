@@ -1,0 +1,12 @@
+// Package repro reproduces Beng-Hong Lim's "Reactive Synchronization
+// Algorithms for Multiprocessors" (MIT, 1994; ASPLOS '94 with Agarwal): a
+// cycle-level Alewife-like multiprocessor simulator, the passive and
+// reactive spin-lock and fetch-and-op protocols, the consensus-object
+// protocol-selection framework, two-phase waiting algorithms with their
+// competitive analysis, and the full experiment harness that regenerates
+// every table and figure of the thesis's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The adoptable native-Go library lives in the reactive subpackage.
+package repro

@@ -1,0 +1,48 @@
+// Adaptivemutex: the native-Go reactive.Mutex under a real goroutine load
+// ramp. Uncontended phases run in the cheap spin protocol; a contention
+// burst drives it into the parking protocol; idling brings it back.
+//
+//	go run ./examples/adaptivemutex
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/reactive"
+)
+
+func main() {
+	var m reactive.Mutex
+	counter := 0
+
+	phase := func(name string, goroutines, iters, csWork int) {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					m.Lock()
+					counter++
+					for k := 0; k < csWork; k++ {
+						runtime.Gosched()
+					}
+					m.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		st := m.Stats()
+		fmt.Printf("%-22s %6.2fms  mode=%v switches=%d counter=%d\n",
+			name, float64(time.Since(start).Microseconds())/1000, st.Mode, st.Switches, counter)
+	}
+
+	fmt.Printf("GOMAXPROCS=%d\n", runtime.GOMAXPROCS(0))
+	phase("solo phase", 1, 20000, 0)
+	phase("contention burst", 4*runtime.GOMAXPROCS(0), 2000, 50)
+	phase("cooldown (solo)", 1, 20000, 0)
+}

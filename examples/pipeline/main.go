@@ -1,0 +1,45 @@
+// Pipeline: producer-consumer streams through futures with a coworker
+// thread sharing each consumer's processor — the Chapter 4 scenario where
+// the choice of waiting mechanism decides performance. The run compares
+// always-spin, always-block, and two-phase waiting with the analytically
+// optimal polling limit Lpoll = 0.54·B (1.58-competitive under the
+// exponential production intervals used here).
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/threads"
+	"repro/internal/waiting"
+)
+
+func main() {
+	costs := threads.DefaultCosts()
+	fmt.Printf("blocking cost B = %d cycles; Lpoll(0.54B) = %d cycles\n\n",
+		costs.BlockCost(), uint64(0.54*float64(costs.BlockCost())))
+
+	for _, mean := range []machine.Time{300, 1500, 8000} {
+		fmt.Printf("mean production interval %d cycles:\n", mean)
+		var spinT machine.Time
+		for _, alg := range []waiting.Algorithm{
+			&waiting.AlwaysSpin{},
+			&waiting.AlwaysBlock{},
+			waiting.NewTwoPhaseAlpha(0.54, costs),
+		} {
+			m := machine.New(machine.DefaultConfig(8))
+			s := threads.NewScheduler(m, costs)
+			app := &apps.FutureStream{Items: 40, Mean: mean, Work: 1200}
+			el := app.Run(s, alg)
+			if alg.Name() == "always-spin" {
+				spinT = el
+			}
+			fmt.Printf("  %-14s %9d cycles (%.2fx spin), %d blocks\n",
+				alg.Name(), el, float64(el)/float64(spinT), s.Blocks)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a simulated multiprocessor, create a reactive spin
+// lock, drive it through a low-contention phase and a high-contention
+// burst, and watch it change protocols.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func main() {
+	const procs = 16
+	m := machine.New(machine.DefaultConfig(procs))
+	lock := core.NewReactiveLock(m.Mem, 0)
+
+	modeName := func() string {
+		if lock.Mode() == 0 {
+			return "test&test&set"
+		}
+		return "mcs-queue"
+	}
+
+	// Phase 1: a single processor uses the lock — stays in TTS mode.
+	m.SpawnCPU(0, 0, "solo", func(c *machine.CPU) {
+		for i := 0; i < 50; i++ {
+			h := lock.Acquire(c)
+			c.Advance(100) // critical section
+			lock.Release(c, h)
+			c.Advance(200) // think
+		}
+		fmt.Printf("cycle %8d: after solo phase, mode=%s changes=%d\n",
+			c.Now(), modeName(), lock.Changes)
+	})
+
+	// Phase 2: all 16 processors hammer the lock — switches to the queue.
+	for p := 0; p < procs; p++ {
+		m.SpawnCPU(p, 40_000, "burst", func(c *machine.CPU) {
+			for i := 0; i < 30; i++ {
+				h := lock.Acquire(c)
+				c.Advance(100)
+				lock.Release(c, h)
+				c.Advance(machine.Time(c.Rand().Intn(250)))
+			}
+		})
+	}
+	m.SpawnCPU(0, 400_000, "report", func(c *machine.CPU) {
+		fmt.Printf("cycle %8d: after burst phase, mode=%s changes=%d\n",
+			c.Now(), modeName(), lock.Changes)
+	})
+
+	// Phase 3: back to one processor — returns to TTS mode.
+	m.SpawnCPU(3, 420_000, "cooldown", func(c *machine.CPU) {
+		for i := 0; i < 50; i++ {
+			h := lock.Acquire(c)
+			c.Advance(50)
+			lock.Release(c, h)
+			c.Advance(100)
+		}
+		fmt.Printf("cycle %8d: after cooldown, mode=%s changes=%d\n",
+			c.Now(), modeName(), lock.Changes)
+	})
+
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("memory system: %d misses, %d invalidations, %d LimitLESS traps\n",
+		m.Mem.Misses, m.Mem.Invals, m.Mem.Traps)
+}

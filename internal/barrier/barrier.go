@@ -1,0 +1,286 @@
+// Package barrier implements barrier protocols and a reactive barrier that
+// selects between them — the extension Section 6.2 of the thesis proposes
+// as future work ("apply the same framework to barriers").
+//
+// Two protocols with the classic contention-dependent trade-off:
+//
+//   - CentralBarrier: a fetch&add counter plus a sense-reversing release
+//     word. Minimal latency for small participant counts; the counter and
+//     the release broadcast serialize at one home node, so arrival and
+//     wakeup cost grow linearly with participants.
+//   - TreeBarrier: a static radix-4 combining tree (Yew-Tzeng-Lawrie
+//     style). Arrival propagates partial counts up the tree and the release
+//     fans out down it, so no single location sees more than radix
+//     arrivals; higher fixed cost for small groups.
+//
+// ReactiveBarrier starts centralized and switches protocols between
+// episodes, based on the measured gap between first arrival and release —
+// the barrier analogue of the thesis's contention monitoring. The episode
+// boundary is a natural consensus point: the releasing process is alone
+// (every other participant is waiting), so it can switch protocols with
+// plain writes, a property the thesis's locks had to build with consensus
+// objects.
+package barrier
+
+import (
+	"repro/internal/machine"
+	"repro/internal/memsys"
+)
+
+// Time is simulated cycles.
+type Time = machine.Time
+
+// Barrier synchronizes n participants per episode.
+type Barrier interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// Wait blocks (spinning) until all participants have arrived.
+	Wait(c machine.Context)
+}
+
+// CentralBarrier is the centralized sense-reversing barrier.
+type CentralBarrier struct {
+	n     int
+	count memsys.Addr
+	sense memsys.Addr // release epoch word; waiters read-poll it
+}
+
+// NewCentral builds a centralized barrier for n participants on node home.
+func NewCentral(mem *memsys.System, home, n int) *CentralBarrier {
+	return &CentralBarrier{
+		n:     n,
+		count: mem.Alloc(home, 1),
+		sense: mem.Alloc(home, 1),
+	}
+}
+
+// Name implements Barrier.
+func (b *CentralBarrier) Name() string { return "central" }
+
+// Wait implements Barrier.
+func (b *CentralBarrier) Wait(c machine.Context) {
+	epoch := c.Read(b.sense)
+	pos := c.FetchAndAdd(b.count, 1)
+	if pos == uint64(b.n-1) {
+		c.Write(b.count, 0)
+		c.Write(b.sense, epoch+1)
+		return
+	}
+	for c.Read(b.sense) == epoch {
+		c.Advance(2)
+	}
+}
+
+// TreeBarrier is a static combining-tree barrier of the given radix: each
+// node has an arrival counter; the last arrival at a node propagates to the
+// parent; the release flips per-node epoch words top-down, which waiters
+// read-poll locally.
+type TreeBarrier struct {
+	n     int
+	radix int
+	nodes []*tbNode
+	leaf  []int // participant -> leaf node index
+	// epoch[i] counts participant i's completed episodes. Release words
+	// hold the latest released episode number; waiters poll for
+	// release >= their episode, which is immune to the re-entry race
+	// where a participant reads a node's release word before the
+	// top-down sweep of the previous episode has reached it.
+	epoch []uint64
+}
+
+type tbNode struct {
+	parent  int // -1 for root
+	expect  int // arrivals expected at this node
+	count   memsys.Addr
+	release memsys.Addr
+}
+
+// NewTree builds a combining-tree barrier for n participants with the
+// given radix (0 = radix 4). Node state is striped across the machine.
+func NewTree(mem *memsys.System, n, radix int) *TreeBarrier {
+	if radix <= 1 {
+		radix = 4
+	}
+	b := &TreeBarrier{n: n, radix: radix, leaf: make([]int, n), epoch: make([]uint64, n)}
+	procs := mem.Config().NumNodes
+	// Build leaves over participant groups, then parent levels.
+	type level struct{ nodes []int }
+	var cur []int
+	for i := 0; i < n; i += radix {
+		cnt := radix
+		if i+cnt > n {
+			cnt = n - i
+		}
+		idx := len(b.nodes)
+		b.nodes = append(b.nodes, &tbNode{
+			parent:  -1,
+			expect:  cnt,
+			count:   mem.Alloc(idx%procs, 1),
+			release: mem.Alloc(idx%procs, 1),
+		})
+		for k := 0; k < cnt; k++ {
+			b.leaf[i+k] = idx
+		}
+		cur = append(cur, idx)
+	}
+	for len(cur) > 1 {
+		var next []int
+		for i := 0; i < len(cur); i += radix {
+			cnt := radix
+			if i+cnt > len(cur) {
+				cnt = len(cur) - i
+			}
+			idx := len(b.nodes)
+			b.nodes = append(b.nodes, &tbNode{
+				parent:  -1,
+				expect:  cnt,
+				count:   mem.Alloc(idx%procs, 1),
+				release: mem.Alloc(idx%procs, 1),
+			})
+			for k := 0; k < cnt; k++ {
+				b.nodes[cur[i+k]].parent = idx
+			}
+			next = append(next, idx)
+		}
+		cur = next
+	}
+	return b
+}
+
+// Name implements Barrier.
+func (b *TreeBarrier) Name() string { return "combining-tree" }
+
+// Wait implements Barrier. The participant that completes a node's count
+// continues to the parent; the one that completes the root releases every
+// node's release word with the episode number.
+func (b *TreeBarrier) Wait(c machine.Context) {
+	me := c.ProcID() % b.n
+	b.epoch[me]++
+	ep := b.epoch[me]
+	node := b.leaf[me]
+	for {
+		nd := b.nodes[node]
+		pos := c.FetchAndAdd(nd.count, 1)
+		if pos != uint64(nd.expect-1) {
+			// Not the last at this node: wait for this episode's release.
+			for c.Read(nd.release) < ep {
+				c.Advance(2)
+			}
+			return
+		}
+		c.Write(nd.count, 0)
+		if nd.parent == -1 {
+			b.release(c, ep)
+			return
+		}
+		node = nd.parent
+	}
+}
+
+// release publishes episode ep on every node, top-down, fanning the
+// release invalidations across the nodes' home modules.
+func (b *TreeBarrier) release(c machine.Context, ep uint64) {
+	for i := len(b.nodes) - 1; i >= 0; i-- {
+		c.Write(b.nodes[i].release, ep)
+	}
+}
+
+// ReactiveBarrier selects between a centralized and a combining-tree
+// barrier per episode. The releasing participant is serial at the episode
+// boundary, so the protocol change needs no further coordination — it
+// writes the mode word before releasing the waiters of the old protocol.
+type ReactiveBarrier struct {
+	n       int
+	mode    memsys.Addr
+	central *CentralBarrier
+	tree    *TreeBarrier
+
+	// EpisodeCostLimit is the measured episode span (first arrival to
+	// last exit) above which the central protocol is judged contended,
+	// and half of which is the threshold for returning to it. Tuned like
+	// the lock policies (Section 3.7.2).
+	EpisodeCostLimit Time
+
+	arrivals int
+	episode  int
+	// slots tracks the two episodes that can be in flight at once (the
+	// current one plus the previous one's stragglers).
+	slots    [2]episodeRecord
+	prevSpan Time // full span of the last fully-exited episode (0 = none)
+
+	// Changes counts protocol switches (stats).
+	Changes uint64
+}
+
+type episodeRecord struct {
+	start Time
+	exits int
+}
+
+// Barrier modes.
+const (
+	modeCentral uint64 = 0
+	modeTree    uint64 = 1
+)
+
+// NewReactive builds a reactive barrier for n participants.
+func NewReactive(mem *memsys.System, home, n int) *ReactiveBarrier {
+	b := &ReactiveBarrier{
+		n:       n,
+		mode:    mem.Alloc(home, 1),
+		central: NewCentral(mem, home, n),
+		tree:    NewTree(mem, n, 0),
+		// Default threshold: the tree pays ~2 levels of fetch&add plus
+		// release sweeps; prefer it once the central episode span exceeds
+		// a few hundred cycles of serialized arrivals.
+		EpisodeCostLimit: 60 * Time(n),
+	}
+	return b
+}
+
+// Name implements Barrier.
+func (b *ReactiveBarrier) Name() string { return "reactive" }
+
+// Mode returns the current protocol (test use): 0 central, 1 tree.
+func (b *ReactiveBarrier) Mode(mem *memsys.System) uint64 { return mem.Peek(b.mode) }
+
+// Wait implements Barrier.
+//
+// Episode accounting is engine-serialized Go state. The switching decision
+// is made by the single releasing participant (the last arrival, which is
+// alone at that instant — every other participant is waiting inside the
+// component barrier), using the full measured span (first arrival to last
+// exit) of the most recent completed episode: the quantity that the
+// central barrier's serialized arrivals and wakeup invalidations inflate.
+func (b *ReactiveBarrier) Wait(c machine.Context) {
+	slot := b.episode & 1
+	if b.arrivals == 0 {
+		b.slots[slot] = episodeRecord{start: c.Now()}
+	}
+	b.arrivals++
+	last := b.arrivals == b.n
+	mode := c.Read(b.mode)
+	if last {
+		b.arrivals = 0
+		b.episode++
+		if b.prevSpan > 0 {
+			if mode == modeCentral && b.prevSpan > b.EpisodeCostLimit {
+				c.Write(b.mode, modeTree)
+				b.Changes++
+			} else if mode == modeTree && b.prevSpan < b.EpisodeCostLimit/2 {
+				c.Write(b.mode, modeCentral)
+				b.Changes++
+			}
+		}
+	}
+	if mode == modeCentral {
+		b.central.Wait(c)
+	} else {
+		b.tree.Wait(c)
+	}
+	rec := &b.slots[slot]
+	rec.exits++
+	if rec.exits == b.n {
+		b.prevSpan = c.Now() - rec.start
+	}
+}

@@ -1,0 +1,158 @@
+package barrier
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// episodes runs rounds barrier episodes over procs processors with the
+// given per-round compute skew, checking the barrier property, and returns
+// elapsed cycles.
+func episodes(t *testing.T, mk func(m *machine.Machine) Barrier, procs, rounds int, skew int) machine.Time {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(procs))
+	b := mk(m)
+	counts := make([]int, rounds)
+	var end machine.Time
+	for p := 0; p < procs; p++ {
+		m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+			for r := 0; r < rounds; r++ {
+				c.Advance(machine.Time(c.Rand().Intn(skew) + 10))
+				counts[r]++
+				b.Wait(c)
+				if counts[r] != procs {
+					t.Errorf("%s: round %d passed with %d/%d arrivals", b.Name(), r, counts[r], procs)
+				}
+			}
+			if c.Now() > end {
+				end = c.Now()
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return end
+}
+
+func TestBarrierProperty(t *testing.T) {
+	for _, mk := range []func(m *machine.Machine) Barrier{
+		func(m *machine.Machine) Barrier { return NewCentral(m.Mem, 0, m.NumProcs()) },
+		func(m *machine.Machine) Barrier { return NewTree(m.Mem, m.NumProcs(), 0) },
+		func(m *machine.Machine) Barrier { return NewReactive(m.Mem, 0, m.NumProcs()) },
+	} {
+		for _, procs := range []int{1, 2, 5, 16, 33} {
+			episodes(t, mk, procs, 6, 400)
+		}
+	}
+}
+
+func TestTreeBeatsCentralAtScale(t *testing.T) {
+	// The contention-dependent trade-off: the combining tree must win at
+	// 64 participants (serialized central counter), the central barrier at
+	// 8 (the tree's extra level; at 4 participants a radix-4 tree is a
+	// single node and the protocols coincide).
+	central := func(m *machine.Machine) Barrier { return NewCentral(m.Mem, 0, m.NumProcs()) }
+	tree := func(m *machine.Machine) Barrier { return NewTree(m.Mem, m.NumProcs(), 0) }
+	c8 := episodes(t, central, 8, 8, 100)
+	t8 := episodes(t, tree, 8, 8, 100)
+	if c8 >= t8 {
+		t.Errorf("8 procs: central (%d) should beat tree (%d)", c8, t8)
+	}
+	c64 := episodes(t, central, 64, 8, 100)
+	t64 := episodes(t, tree, 64, 8, 100)
+	if t64 >= c64 {
+		t.Errorf("64 procs: tree (%d) should beat central (%d)", t64, c64)
+	}
+}
+
+func TestReactiveBarrierSwitches(t *testing.T) {
+	// At 64 participants the reactive barrier must adopt the tree and land
+	// near it; at 4 it must stay central.
+	m := machine.New(machine.DefaultConfig(64))
+	rb := NewReactive(m.Mem, 0, 64)
+	var end machine.Time
+	for p := 0; p < 64; p++ {
+		m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+			for r := 0; r < 10; r++ {
+				c.Advance(machine.Time(c.Rand().Intn(100) + 10))
+				rb.Wait(c)
+			}
+			if c.Now() > end {
+				end = c.Now()
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rb.Mode(m.Mem) != modeTree {
+		t.Fatalf("mode = %d at 64 participants, want tree", rb.Mode(m.Mem))
+	}
+	if rb.Changes == 0 {
+		t.Fatal("no protocol change at 64 participants")
+	}
+
+	m2 := machine.New(machine.DefaultConfig(8))
+	rb2 := NewReactive(m2.Mem, 0, 8)
+	for p := 0; p < 8; p++ {
+		m2.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+			for r := 0; r < 10; r++ {
+				c.Advance(machine.Time(c.Rand().Intn(100) + 10))
+				rb2.Wait(c)
+			}
+		})
+	}
+	if err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rb2.Mode(m2.Mem) != modeCentral {
+		t.Fatalf("mode = %d at 8 participants, want central", rb2.Mode(m2.Mem))
+	}
+}
+
+func TestReactiveBarrierNearBest(t *testing.T) {
+	for _, procs := range []int{8, 64} {
+		central := episodes(t, func(m *machine.Machine) Barrier { return NewCentral(m.Mem, 0, m.NumProcs()) }, procs, 10, 100)
+		tree := episodes(t, func(m *machine.Machine) Barrier { return NewTree(m.Mem, m.NumProcs(), 0) }, procs, 10, 100)
+		re := episodes(t, func(m *machine.Machine) Barrier { return NewReactive(m.Mem, 0, m.NumProcs()) }, procs, 10, 100)
+		best := central
+		if tree < best {
+			best = tree
+		}
+		if float64(re) > 1.3*float64(best) {
+			t.Errorf("procs=%d: reactive %d more than 30%% above best %d (central %d, tree %d)",
+				procs, re, best, central, tree)
+		}
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(64))
+	b := NewTree(m.Mem, 64, 4)
+	// 64 participants at radix 4: 16 leaves + 4 + 1 = 21 nodes.
+	if len(b.nodes) != 21 {
+		t.Fatalf("node count = %d, want 21", len(b.nodes))
+	}
+	roots := 0
+	for _, nd := range b.nodes {
+		if nd.parent == -1 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("%d roots", roots)
+	}
+}
+
+func TestBarrierDeterminism(t *testing.T) {
+	mk := func(m *machine.Machine) Barrier { return NewReactive(m.Mem, 0, m.NumProcs()) }
+	e1 := episodes(t, mk, 16, 5, 300)
+	e2 := episodes(t, mk, 16, 5, 300)
+	if e1 != e2 {
+		t.Fatalf("non-deterministic: %d vs %d", e1, e2)
+	}
+	_ = fmt.Sprint() // keep fmt for debugging convenience
+}

@@ -1,0 +1,156 @@
+// Package constructs provides the higher-level synchronization types the
+// thesis's waiting-algorithm experiments exercise (Section 4.6.1): futures
+// and J-structures (producer-consumer, built on full/empty bits), barriers,
+// mutexes, and counting networks. Every construct is parameterized by a
+// waiting.Algorithm so the experiments can swap always-spin, always-block,
+// and two-phase waiting without touching the benchmark code.
+package constructs
+
+import (
+	"repro/internal/memsys"
+	"repro/internal/threads"
+	"repro/internal/waiting"
+)
+
+// Future is a single-assignment cell with a full/empty bit: the
+// producer-consumer synchronization of futures in Mul-T (Section 4.4.3).
+// Multiple consumers may touch it; one producer resolves it.
+type Future struct {
+	cell memsys.Addr
+	q    threads.WaitQueue
+}
+
+// NewFuture allocates a future homed on node home.
+func NewFuture(mem *memsys.System, home int) *Future {
+	f := &Future{cell: mem.Alloc(home, 1)}
+	mem.SetEmpty(f.cell)
+	return f
+}
+
+// Resolve writes the value, sets the full bit, and wakes blocked consumers.
+func (f *Future) Resolve(t *threads.Thread, v uint64) {
+	t.WriteFull(f.cell, v)
+	f.q.WakeAll(t)
+}
+
+// Resolved reports whether the future has been resolved (no waiting).
+func (f *Future) Resolved(t *threads.Thread) bool {
+	_, full := t.ReadFE(f.cell)
+	return full
+}
+
+// Touch waits (with alg) until the future is resolved and returns its
+// value. The poll is a read of the full/empty-tagged word, which caches
+// until the producer's write invalidates it.
+func (f *Future) Touch(t *threads.Thread, alg waiting.Algorithm) uint64 {
+	alg.Wait(t, func() bool {
+		_, full := t.ReadFE(f.cell)
+		return full
+	}, &f.q)
+	v, _ := t.ReadFE(f.cell)
+	return v
+}
+
+// JStructure is an array of single-assignment elements with full/empty
+// bits (I-structure-like; Section 4.6.1). Readers of empty elements wait.
+type JStructure struct {
+	cells []memsys.Addr
+	qs    []threads.WaitQueue
+}
+
+// NewJStructure allocates n elements striped across the machine's nodes.
+func NewJStructure(mem *memsys.System, n int) *JStructure {
+	j := &JStructure{
+		cells: mem.AllocStriped(n),
+		qs:    make([]threads.WaitQueue, n),
+	}
+	for _, c := range j.cells {
+		mem.SetEmpty(c)
+	}
+	return j
+}
+
+// Len returns the number of elements.
+func (j *JStructure) Len() int { return len(j.cells) }
+
+// Write fills element i and wakes its waiting readers.
+func (j *JStructure) Write(t *threads.Thread, i int, v uint64) {
+	t.WriteFull(j.cells[i], v)
+	j.qs[i].WakeAll(t)
+}
+
+// Read waits until element i is full and returns it.
+func (j *JStructure) Read(t *threads.Thread, i int, alg waiting.Algorithm) uint64 {
+	alg.Wait(t, func() bool {
+		_, full := t.ReadFE(j.cells[i])
+		return full
+	}, &j.qs[i])
+	v, _ := t.ReadFE(j.cells[i])
+	return v
+}
+
+// Barrier is a centralized phase-counting barrier: arrivals fetch&add a
+// counter; the last arrival advances the phase word (invalidating pollers'
+// cached copies) and wakes blocked waiters.
+type Barrier struct {
+	n     int
+	count memsys.Addr
+	phase memsys.Addr
+	q     threads.WaitQueue
+}
+
+// NewBarrier builds a barrier for n participants, homed on node home.
+func NewBarrier(mem *memsys.System, home int, n int) *Barrier {
+	return &Barrier{
+		n:     n,
+		count: mem.Alloc(home, 1),
+		phase: mem.Alloc(home, 1),
+	}
+}
+
+// Wait blocks until all n participants have arrived.
+func (b *Barrier) Wait(t *threads.Thread, alg waiting.Algorithm) {
+	p := t.Read(b.phase)
+	pos := t.FetchAndAdd(b.count, 1)
+	if pos == uint64(b.n-1) {
+		t.Write(b.count, 0)
+		t.Write(b.phase, p+1)
+		b.q.WakeAll(t)
+		return
+	}
+	alg.Wait(t, func() bool { return t.Read(b.phase) != p }, &b.q)
+}
+
+// Mutex is a test-and-set mutual-exclusion lock whose waiting is delegated
+// to a waiting algorithm (lock waiters are not queued — the mutex model of
+// Section 4.4.3's analysis).
+type Mutex struct {
+	flag memsys.Addr
+	q    threads.WaitQueue
+}
+
+// NewMutex allocates a mutex homed on node home.
+func NewMutex(mem *memsys.System, home int) *Mutex {
+	return &Mutex{flag: mem.Alloc(home, 1)}
+}
+
+// Lock acquires the mutex, waiting with alg while it is held.
+func (m *Mutex) Lock(t *threads.Thread, alg waiting.Algorithm) {
+	for {
+		if t.TestAndSet(m.flag) == 0 {
+			return
+		}
+		alg.Wait(t, func() bool { return t.Read(m.flag) == 0 }, &m.q)
+	}
+}
+
+// Unlock releases the mutex and wakes one blocked waiter, if any.
+func (m *Mutex) Unlock(t *threads.Thread) {
+	t.Write(m.flag, 0)
+	m.q.WakeOne(t)
+}
+
+// TryLock attempts the lock once without waiting.
+func (m *Mutex) TryLock(t *threads.Thread) bool {
+	return t.TestAndSet(m.flag) == 0
+}

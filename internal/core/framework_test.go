@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// counterObjects builds two GenericObject protocols that both implement a
+// fetch-and-increment counter, each keeping its state in its own word.
+// Validate's Update copies the counter value from the shared location, so
+// the counter's semantics survive protocol changes.
+func counterObjects(m *machine.Machine, check *HistoryChecker) (*Manager, machine.Addr) {
+	shared := m.Mem.Alloc(0, 1) // authoritative value, updated in-consensus
+	mk := func(name string, home int, valid bool) *GenericObject {
+		g := &GenericObject{
+			CO:    NewConsensusObject(m, home, valid),
+			Name:  name,
+			Check: check,
+		}
+		g.InConsensus = func(c machine.Context, arg uint64) uint64 {
+			old := c.Read(shared)
+			c.Write(shared, old+arg)
+			c.Advance(5) // protocol work
+			return old
+		}
+		return g
+	}
+	a := mk("protoA", 0, true)
+	b := mk("protoB", 1, false)
+	return &Manager{Objs: []ProtocolObject{a, b}}, shared
+}
+
+func TestManagerCounterAcrossChanges(t *testing.T) {
+	const procs, iters = 8, 30
+	m := machine.New(machine.DefaultConfig(procs))
+	check := &HistoryChecker{}
+	mgr, shared := counterObjects(m, check)
+	var results []uint64
+	for p := 0; p < procs; p++ {
+		m.SpawnCPU(p, 0, "op", func(c *machine.CPU) {
+			for i := 0; i < iters; i++ {
+				results = append(results, mgr.DoSynchOp(c, 1))
+				c.Advance(machine.Time(c.Rand().Intn(300)))
+			}
+		})
+	}
+	// A changer process flips protocols continually during the run.
+	m.SpawnCPU(0, 50, "changer", func(c *machine.CPU) {
+		for i := 0; i < 40; i++ {
+			mgr.DoChange(c, (i+1)%2)
+			c.Advance(500)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem.Peek(shared); got != procs*iters {
+		t.Fatalf("counter = %d, want %d", got, procs*iters)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i] < results[j] })
+	for i, v := range results {
+		if v != uint64(i) {
+			t.Fatalf("results not a permutation of 0..%d at %d: %d", procs*iters-1, i, v)
+		}
+	}
+	if err := check.CheckCSerial(); err != nil {
+		t.Fatal(err)
+	}
+	if err := check.CheckAtMostOneValid("protoA"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerNaiveObjects(t *testing.T) {
+	// Same scenario through the naive lock-based objects of Figure 3.7.
+	const procs, iters = 4, 20
+	m := machine.New(machine.DefaultConfig(procs))
+	shared := m.Mem.Alloc(0, 1)
+	mk := func(home int, valid bool) *NaiveObject {
+		o := NewNaiveObject(m, home, valid)
+		o.Run = func(c machine.Context, arg uint64) uint64 {
+			old := c.Read(shared)
+			c.Write(shared, old+arg)
+			return old
+		}
+		return o
+	}
+	mgr := &Manager{Objs: []ProtocolObject{mk(0, true), mk(1, false)}}
+	for p := 0; p < procs; p++ {
+		m.SpawnCPU(p, 0, "op", func(c *machine.CPU) {
+			for i := 0; i < iters; i++ {
+				mgr.DoSynchOp(c, 1)
+				c.Advance(machine.Time(c.Rand().Intn(200)))
+			}
+		})
+	}
+	m.SpawnCPU(1, 100, "changer", func(c *machine.CPU) {
+		for i := 0; i < 10; i++ {
+			mgr.DoChange(c, (i+1)%2)
+			c.Advance(2000)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem.Peek(shared); got != procs*iters {
+		t.Fatalf("counter = %d, want %d", got, procs*iters)
+	}
+}
+
+func TestInvalidateOnlyOneWinner(t *testing.T) {
+	// Concurrent Invalidate calls: exactly one must return true.
+	m := machine.New(machine.DefaultConfig(8))
+	g := &GenericObject{CO: NewConsensusObject(m, 0, true), Name: "x"}
+	g.InConsensus = func(c machine.Context, arg uint64) uint64 { return 0 }
+	wins := 0
+	for p := 0; p < 8; p++ {
+		m.SpawnCPU(p, 0, "inv", func(c *machine.CPU) {
+			if g.Invalidate(c) {
+				wins++
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wins != 1 {
+		t.Fatalf("%d concurrent Invalidates won; want exactly 1", wins)
+	}
+}
+
+func TestCheckerDetectsOverlap(t *testing.T) {
+	h := &HistoryChecker{}
+	h.RecordInterval("o", ExecInterval, 0, 10, 20)
+	h.RecordInterval("o", ChangeInterval, 1, 15, 25)
+	if err := h.CheckCSerial(); err == nil {
+		t.Fatal("overlapping change/exec must fail C-serial check")
+	}
+	h2 := &HistoryChecker{}
+	h2.RecordInterval("o", ExecInterval, 0, 10, 20)
+	h2.RecordInterval("o", ChangeInterval, 1, 20, 25)
+	h2.RecordInterval("o", ExecInterval, 2, 25, 40)
+	if err := h2.CheckCSerial(); err != nil {
+		t.Fatalf("sequential history flagged: %v", err)
+	}
+	// Overlapping executions are fine — only changes must serialize
+	// (Definition 1).
+	h3 := &HistoryChecker{}
+	h3.RecordInterval("o", ExecInterval, 0, 10, 30)
+	h3.RecordInterval("o", ExecInterval, 1, 15, 25)
+	if err := h3.CheckCSerial(); err != nil {
+		t.Fatalf("concurrent executions flagged: %v", err)
+	}
+}
+
+func TestCheckerAtMostOneValid(t *testing.T) {
+	h := &HistoryChecker{}
+	h.RecordValidity("a", 10, false, 0)
+	h.RecordValidity("b", 12, true, 0)
+	h.RecordValidity("b", 20, false, 1)
+	h.RecordValidity("a", 22, true, 1)
+	if err := h.CheckAtMostOneValid("a"); err != nil {
+		t.Fatalf("legal switch sequence flagged: %v", err)
+	}
+	bad := &HistoryChecker{}
+	bad.RecordValidity("b", 5, true, 0) // b validated while a still valid
+	if err := bad.CheckAtMostOneValid("a"); err == nil {
+		t.Fatal("two valid objects not detected")
+	}
+}

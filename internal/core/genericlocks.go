@@ -1,0 +1,332 @@
+package core
+
+import (
+	"repro/internal/machine"
+	"repro/internal/spinlock"
+)
+
+// This file implements the generic protocol-selection algorithms of
+// Appendix B.5 (mutual-exclusion locks) and B.6 (reader-writer locks):
+// given any set of component protocols — *unmodified* — a selectable lock
+// is built from a mode hint, per-protocol valid bits, and the
+// acquire-then-validate discipline:
+//
+//	acquire the hinted component lock; if its protocol is invalid, release
+//	it and retry via the hint. Protocol changes are made only by the
+//	current holder of the valid component lock (the consensus object), so
+//	validity flips are serialized with all executions: an acquisition
+//	either observes the old validity (and retries) or the new one.
+//
+// Unlike ReactiveLock (Section 3.7.3), which edits the component protocols
+// to detect invalidation *while waiting*, the generic algorithm leaves
+// invalid component locks free: stale acquirers briefly acquire them, fail
+// the validity check, release and re-dispatch. This is the phase-1
+// "correct but unoptimized" implementation of Section 3.7.1.
+
+// SelectableLock is a mutual-exclusion lock generically composed from
+// component protocols (Figure B.5). Protocol 0 starts valid.
+type SelectableLock struct {
+	mode  machine.Addr   // hint: index of the valid protocol
+	valid []machine.Addr // per-protocol valid bits
+	locks []spinlock.Lock
+
+	// Changes counts protocol changes (stats).
+	Changes uint64
+}
+
+// SelHandle identifies the protocol an acquisition went through.
+type SelHandle struct {
+	idx int
+	h   spinlock.Handle
+}
+
+// NewSelectableLock composes the given component locks; all control words
+// are homed on node home.
+func NewSelectableLock(m *machine.Machine, home int, locks []spinlock.Lock) *SelectableLock {
+	if len(locks) == 0 {
+		panic("core: SelectableLock needs at least one protocol")
+	}
+	sl := &SelectableLock{
+		mode:  m.Mem.Alloc(home, 1),
+		locks: locks,
+	}
+	for i := range locks {
+		v := m.Mem.Alloc(home, 1)
+		if i == 0 {
+			m.Mem.Poke(v, 1)
+		}
+		sl.valid = append(sl.valid, v)
+	}
+	return sl
+}
+
+// Name implements spinlock.Lock.
+func (sl *SelectableLock) Name() string { return "selectable" }
+
+// Acquire implements spinlock.Lock: acquire the hinted protocol and
+// validate; on an invalidated protocol, undo and retry.
+func (sl *SelectableLock) Acquire(c machine.Context) spinlock.Handle {
+	for {
+		i := int(c.Read(sl.mode)) % len(sl.locks)
+		h := sl.locks[i].Acquire(c)
+		if c.Read(sl.valid[i]) != 0 {
+			return SelHandle{idx: i, h: h}
+		}
+		// Acquired an invalidated protocol: release and re-dispatch.
+		sl.locks[i].Release(c, h)
+		c.Advance(2)
+	}
+}
+
+// Release implements spinlock.Lock.
+func (sl *SelectableLock) Release(c machine.Context, h spinlock.Handle) {
+	sh := h.(SelHandle)
+	sl.locks[sh.idx].Release(c, sh.h)
+}
+
+// ReleaseAndSwitch releases the lock and changes the valid protocol to
+// target in one step. Only the holder may call it: holding the valid
+// component lock is what serializes the change (C-serializability via the
+// lock-as-consensus-object property).
+func (sl *SelectableLock) ReleaseAndSwitch(c machine.Context, h spinlock.Handle, target int) {
+	sh := h.(SelHandle)
+	if target != sh.idx {
+		c.Write(sl.valid[sh.idx], 0)
+		c.Write(sl.valid[target], 1)
+		c.Write(sl.mode, uint64(target))
+		sl.Changes++
+	}
+	sl.locks[sh.idx].Release(c, sh.h)
+}
+
+// Current returns the hinted protocol index (test use).
+func (sl *SelectableLock) Current(c machine.Context) int {
+	return int(c.Read(sl.mode)) % len(sl.locks)
+}
+
+// --- Reader-writer locks (Appendix B.6) ---
+
+// RWLock is the synchronization operation both component reader-writer
+// protocols implement.
+type RWLock interface {
+	Name() string
+	ReadLock(c machine.Context)
+	ReadUnlock(c machine.Context)
+	WriteLock(c machine.Context)
+	WriteUnlock(c machine.Context)
+}
+
+// CentralRWLock is a centralized reader-writer protocol: one word holds
+// the writer bit and the reader count. Low uncontended latency; every
+// reader RMWs the same word, so read-side throughput collapses under many
+// concurrent readers.
+type CentralRWLock struct {
+	word machine.Addr // bit 63 = writer; low bits = reader count
+}
+
+const rwWriterBit = uint64(1) << 63
+
+// NewCentralRWLock allocates the protocol on node home.
+func NewCentralRWLock(m *machine.Machine, home int) *CentralRWLock {
+	return &CentralRWLock{word: m.Mem.Alloc(home, 1)}
+}
+
+// Name implements RWLock.
+func (l *CentralRWLock) Name() string { return "central-rw" }
+
+// ReadLock implements RWLock.
+func (l *CentralRWLock) ReadLock(c machine.Context) {
+	for {
+		v := c.Read(l.word)
+		if v&rwWriterBit == 0 && c.CompareAndSwap(l.word, v, v+1) {
+			return
+		}
+		c.Advance(c.Rand().Uint64n(32) + 2)
+	}
+}
+
+// ReadUnlock implements RWLock.
+func (l *CentralRWLock) ReadUnlock(c machine.Context) {
+	for {
+		v := c.Read(l.word)
+		if c.CompareAndSwap(l.word, v, v-1) {
+			return
+		}
+		c.Advance(2)
+	}
+}
+
+// WriteLock implements RWLock.
+func (l *CentralRWLock) WriteLock(c machine.Context) {
+	// Claim the writer bit, then wait for readers to drain.
+	for {
+		v := c.Read(l.word)
+		if v&rwWriterBit == 0 && c.CompareAndSwap(l.word, v, v|rwWriterBit) {
+			break
+		}
+		c.Advance(c.Rand().Uint64n(32) + 2)
+	}
+	for c.Read(l.word) != rwWriterBit {
+		c.Advance(2)
+	}
+}
+
+// WriteUnlock implements RWLock.
+func (l *CentralRWLock) WriteUnlock(c machine.Context) {
+	for {
+		v := c.Read(l.word)
+		if c.CompareAndSwap(l.word, v, v&^rwWriterBit) {
+			return
+		}
+		c.Advance(2)
+	}
+}
+
+// DistributedRWLock is a reader-scalable protocol: per-processor reader
+// flags (readers touch only a locally homed word) and a writer that claims
+// a writer word then sweeps every flag — higher write latency, near-flat
+// read-side cost under read contention.
+type DistributedRWLock struct {
+	readerFlags []machine.Addr // one per processor, locally homed
+	writer      machine.Addr
+}
+
+// NewDistributedRWLock allocates per-processor reader flags.
+func NewDistributedRWLock(m *machine.Machine) *DistributedRWLock {
+	l := &DistributedRWLock{writer: m.Mem.Alloc(0, 1)}
+	for p := 0; p < m.NumProcs(); p++ {
+		l.readerFlags = append(l.readerFlags, m.Mem.Alloc(p, 1))
+	}
+	return l
+}
+
+// Name implements RWLock.
+func (l *DistributedRWLock) Name() string { return "distributed-rw" }
+
+// ReadLock implements RWLock.
+func (l *DistributedRWLock) ReadLock(c machine.Context) {
+	my := l.readerFlags[c.ProcID()]
+	for {
+		c.Write(my, 1)
+		if c.Read(l.writer) == 0 {
+			return
+		}
+		// A writer is active or arriving: stand down and wait.
+		c.Write(my, 0)
+		for c.Read(l.writer) != 0 {
+			c.Advance(4)
+		}
+	}
+}
+
+// ReadUnlock implements RWLock.
+func (l *DistributedRWLock) ReadUnlock(c machine.Context) {
+	c.Write(l.readerFlags[c.ProcID()], 0)
+}
+
+// WriteLock implements RWLock.
+func (l *DistributedRWLock) WriteLock(c machine.Context) {
+	for c.TestAndSet(l.writer) != 0 {
+		c.Advance(c.Rand().Uint64n(64) + 2)
+	}
+	// Wait for every reader to drain.
+	for _, f := range l.readerFlags {
+		for c.Read(f) != 0 {
+			c.Advance(4)
+		}
+	}
+}
+
+// WriteUnlock implements RWLock.
+func (l *DistributedRWLock) WriteUnlock(c machine.Context) {
+	c.Write(l.writer, 0)
+}
+
+// SelectableRWLock composes component reader-writer protocols (Figure
+// B.6) with the same acquire-then-validate discipline. Read holds validate
+// against the protocol's valid bit after ReadLock; changes require a write
+// hold (full exclusion), which is the reader-writer protocol's consensus
+// condition.
+type SelectableRWLock struct {
+	mode  machine.Addr
+	valid []machine.Addr
+	locks []RWLock
+
+	// Changes counts protocol changes.
+	Changes uint64
+}
+
+// NewSelectableRWLock composes the component protocols; protocol 0 starts
+// valid.
+func NewSelectableRWLock(m *machine.Machine, home int, locks []RWLock) *SelectableRWLock {
+	if len(locks) == 0 {
+		panic("core: SelectableRWLock needs at least one protocol")
+	}
+	sl := &SelectableRWLock{
+		mode:  m.Mem.Alloc(home, 1),
+		locks: locks,
+	}
+	for i := range locks {
+		v := m.Mem.Alloc(home, 1)
+		if i == 0 {
+			m.Mem.Poke(v, 1)
+		}
+		sl.valid = append(sl.valid, v)
+	}
+	return sl
+}
+
+// ReadLock acquires the lock for reading and returns the protocol index
+// to pass to ReadUnlock.
+func (sl *SelectableRWLock) ReadLock(c machine.Context) int {
+	for {
+		i := int(c.Read(sl.mode)) % len(sl.locks)
+		sl.locks[i].ReadLock(c)
+		if c.Read(sl.valid[i]) != 0 {
+			return i
+		}
+		sl.locks[i].ReadUnlock(c)
+		c.Advance(2)
+	}
+}
+
+// ReadUnlock releases a read hold acquired through protocol i.
+func (sl *SelectableRWLock) ReadUnlock(c machine.Context, i int) {
+	sl.locks[i].ReadUnlock(c)
+}
+
+// WriteLock acquires the lock for writing.
+func (sl *SelectableRWLock) WriteLock(c machine.Context) int {
+	for {
+		i := int(c.Read(sl.mode)) % len(sl.locks)
+		sl.locks[i].WriteLock(c)
+		if c.Read(sl.valid[i]) != 0 {
+			return i
+		}
+		sl.locks[i].WriteUnlock(c)
+		c.Advance(2)
+	}
+}
+
+// WriteUnlock releases a write hold acquired through protocol i.
+func (sl *SelectableRWLock) WriteUnlock(c machine.Context, i int) {
+	sl.locks[i].WriteUnlock(c)
+}
+
+// WriteUnlockAndSwitch releases a write hold and changes the valid
+// protocol. A write hold excludes all readers and writers of the valid
+// protocol, so the change is serialized with every operation.
+func (sl *SelectableRWLock) WriteUnlockAndSwitch(c machine.Context, i, target int) {
+	if target != i {
+		c.Write(sl.valid[i], 0)
+		c.Write(sl.valid[target], 1)
+		c.Write(sl.mode, uint64(target))
+		sl.Changes++
+	}
+	sl.locks[i].WriteUnlock(c)
+}
+
+// Current returns the hinted protocol index (test use).
+func (sl *SelectableRWLock) Current(c machine.Context) int {
+	return int(c.Read(sl.mode)) % len(sl.locks)
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/spinlock"
+)
+
+func TestSelectableLockMutualExclusionAcrossSwitches(t *testing.T) {
+	const procs = 10
+	m := machine.New(machine.DefaultConfig(procs))
+	sl := NewSelectableLock(m, 0, []spinlock.Lock{
+		spinlock.NewTTS(m.Mem, 0, spinlock.DefaultBackoff),
+		spinlock.NewMCS(m.Mem, 1),
+	})
+	inCS := false
+	count := 0
+	for p := 0; p < procs; p++ {
+		p := p
+		m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+			for i := 0; i < 30; i++ {
+				h := sl.Acquire(c)
+				if inCS {
+					t.Error("selectable lock: mutual exclusion violated")
+				}
+				inCS = true
+				c.Advance(60)
+				inCS = false
+				count++
+				// Every 7th critical section, the holder switches
+				// protocols on release.
+				if (p+i)%7 == 0 {
+					sl.ReleaseAndSwitch(c, h, (sl.Current(c)+1)%2)
+				} else {
+					sl.Release(c, h)
+				}
+				c.Advance(machine.Time(c.Rand().Intn(300)))
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != procs*30 {
+		t.Fatalf("completed %d critical sections", count)
+	}
+	if sl.Changes == 0 {
+		t.Fatal("no protocol changes exercised")
+	}
+}
+
+func TestSelectableLockStaleHintRecovers(t *testing.T) {
+	// A process that read the mode hint before a switch must acquire the
+	// now-invalid protocol, fail validation, and re-dispatch correctly.
+	m := machine.New(machine.DefaultConfig(4))
+	sl := NewSelectableLock(m, 0, []spinlock.Lock{
+		spinlock.NewTTS(m.Mem, 0, spinlock.DefaultBackoff),
+		spinlock.NewMCS(m.Mem, 1),
+	})
+	order := []int{}
+	m.SpawnCPU(0, 0, "switcher", func(c *machine.CPU) {
+		h := sl.Acquire(c)
+		c.Advance(5000) // hold long enough for others to line up
+		sl.ReleaseAndSwitch(c, h, 1)
+		order = append(order, 0)
+	})
+	for p := 1; p < 4; p++ {
+		m.SpawnCPU(p, 100, "waiter", func(c *machine.CPU) {
+			h := sl.Acquire(c)
+			order = append(order, p)
+			c.Advance(50)
+			sl.Release(c, h)
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("%d completions", len(order))
+	}
+	m.SpawnCPU(0, m.Eng.Now(), "check", func(c *machine.CPU) {
+		if sl.Current(c) != 1 {
+			t.Errorf("mode = %d after switch", sl.Current(c))
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func rwWorkload(t *testing.T, mk func(m *machine.Machine) RWLock) {
+	t.Helper()
+	const procs = 8
+	m := machine.New(machine.DefaultConfig(procs))
+	l := mk(m)
+	readers := 0
+	writers := 0
+	for p := 0; p < procs; p++ {
+		p := p
+		m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+			for i := 0; i < 20; i++ {
+				if p%4 == 0 {
+					l.WriteLock(c)
+					if readers != 0 || writers != 0 {
+						t.Errorf("%s: writer overlaps (r=%d w=%d)", l.Name(), readers, writers)
+					}
+					writers++
+					c.Advance(80)
+					writers--
+					l.WriteUnlock(c)
+				} else {
+					l.ReadLock(c)
+					if writers != 0 {
+						t.Errorf("%s: reader overlaps writer", l.Name())
+					}
+					readers++
+					c.Advance(40)
+					readers--
+					l.ReadUnlock(c)
+				}
+				c.Advance(machine.Time(c.Rand().Intn(200)))
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCentralRWLock(t *testing.T) {
+	rwWorkload(t, func(m *machine.Machine) RWLock { return NewCentralRWLock(m, 0) })
+}
+
+func TestDistributedRWLock(t *testing.T) {
+	rwWorkload(t, func(m *machine.Machine) RWLock { return NewDistributedRWLock(m) })
+}
+
+func TestSelectableRWLockAcrossSwitches(t *testing.T) {
+	const procs = 8
+	m := machine.New(machine.DefaultConfig(procs))
+	sl := NewSelectableRWLock(m, 0, []RWLock{
+		NewCentralRWLock(m, 0),
+		NewDistributedRWLock(m),
+	})
+	readers, writers := 0, 0
+	for p := 0; p < procs; p++ {
+		p := p
+		m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+			for i := 0; i < 20; i++ {
+				if p%4 == 0 {
+					idx := sl.WriteLock(c)
+					if readers != 0 || writers != 0 {
+						t.Errorf("writer overlaps (r=%d w=%d)", readers, writers)
+					}
+					writers++
+					c.Advance(80)
+					writers--
+					if i%5 == 0 {
+						sl.WriteUnlockAndSwitch(c, idx, (sl.Current(c)+1)%2)
+					} else {
+						sl.WriteUnlock(c, idx)
+					}
+				} else {
+					idx := sl.ReadLock(c)
+					if writers != 0 {
+						t.Error("reader overlaps writer")
+					}
+					readers++
+					c.Advance(40)
+					readers--
+					sl.ReadUnlock(c, idx)
+				}
+				c.Advance(machine.Time(c.Rand().Intn(200)))
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sl.Changes == 0 {
+		t.Fatal("no protocol changes exercised")
+	}
+}
+
+func TestRWLockReadScalabilityTradeoff(t *testing.T) {
+	// The contention-dependent tradeoff the selectable RW lock would
+	// exploit: under heavy read sharing, the distributed protocol's read
+	// side must beat the central protocol's RMW-per-reader.
+	elapsed := func(mk func(m *machine.Machine) RWLock) machine.Time {
+		const procs = 16
+		m := machine.New(machine.DefaultConfig(procs))
+		l := mk(m)
+		var end machine.Time
+		for p := 0; p < procs; p++ {
+			m.SpawnCPU(p, 0, "r", func(c *machine.CPU) {
+				for i := 0; i < 40; i++ {
+					l.ReadLock(c)
+					c.Advance(50)
+					l.ReadUnlock(c)
+					c.Advance(machine.Time(c.Rand().Intn(100)))
+				}
+				if c.Now() > end {
+					end = c.Now()
+				}
+			})
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	central := elapsed(func(m *machine.Machine) RWLock { return NewCentralRWLock(m, 0) })
+	dist := elapsed(func(m *machine.Machine) RWLock { return NewDistributedRWLock(m) })
+	if dist >= central {
+		t.Errorf("distributed read side (%d) should beat central (%d) at 16 readers", dist, central)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// IntervalKind classifies a recorded consensus-object access.
+type IntervalKind int
+
+// Interval kinds: protocol executions versus protocol change operations.
+const (
+	ExecInterval IntervalKind = iota
+	ChangeInterval
+)
+
+func (k IntervalKind) String() string {
+	if k == ChangeInterval {
+		return "change"
+	}
+	return "exec"
+}
+
+// Interval is one atomic access to a protocol object's consensus object.
+type Interval struct {
+	Obj   string
+	Kind  IntervalKind
+	Proc  int
+	Start machine.Time
+	End   machine.Time
+}
+
+// ValidityEvent is a validity-bit transition at its serialization point.
+type ValidityEvent struct {
+	Obj  string
+	At   machine.Time
+	Seq  int
+	To   bool
+	Proc int
+}
+
+// HistoryChecker accumulates the consensus-access history of a protocol
+// selection algorithm and verifies the correctness conditions of
+// Section 3.2.5:
+//
+//   - C-seriality (Definition 1) of the recorded accesses: every protocol
+//     *change* operation at an object is totally ordered with respect to
+//     every other operation at that object;
+//   - the protocol-manager invariant that at most one protocol object is
+//     valid at any time.
+//
+// The recorded intervals are exactly the windows during which a process
+// held an object's consensus object, i.e. the serialization points that
+// make the full execution history C-serializable (Definition 2).
+type HistoryChecker struct {
+	Intervals []Interval
+	Validity  []ValidityEvent
+	seq       int
+}
+
+// RecordInterval appends one consensus access.
+func (h *HistoryChecker) RecordInterval(obj string, kind IntervalKind, proc int, start, end machine.Time) {
+	h.Intervals = append(h.Intervals, Interval{Obj: obj, Kind: kind, Proc: proc, Start: start, End: end})
+}
+
+// RecordValidity appends one validity transition (in call order; Seq breaks
+// same-cycle ties).
+func (h *HistoryChecker) RecordValidity(obj string, at machine.Time, to bool, proc int) {
+	h.seq++
+	h.Validity = append(h.Validity, ValidityEvent{Obj: obj, At: at, Seq: h.seq, To: to, Proc: proc})
+}
+
+// CheckCSerial verifies Definition 1 over the recorded consensus accesses:
+// at each object, no change interval overlaps any other interval.
+func (h *HistoryChecker) CheckCSerial() error {
+	byObj := map[string][]Interval{}
+	for _, iv := range h.Intervals {
+		byObj[iv.Obj] = append(byObj[iv.Obj], iv)
+	}
+	for obj, ivs := range byObj {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+		for i, a := range ivs {
+			if a.Kind != ChangeInterval {
+				continue
+			}
+			for j, b := range ivs {
+				if i == j {
+					continue
+				}
+				if a.Start < b.End && b.Start < a.End {
+					return fmt.Errorf("core: history not C-serial at object %q: %s by P%d [%d,%d] overlaps %s by P%d [%d,%d]",
+						obj, a.Kind, a.Proc, a.Start, a.End, b.Kind, b.Proc, b.Start, b.End)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAtMostOneValid verifies the protocol-manager invariant: replaying
+// the validity transitions in order, the number of simultaneously valid
+// protocol objects never exceeds one. initiallyValid names the object that
+// starts valid ("" for none).
+func (h *HistoryChecker) CheckAtMostOneValid(initiallyValid string) error {
+	evs := append([]ValidityEvent(nil), h.Validity...)
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+	valid := map[string]bool{}
+	if initiallyValid != "" {
+		valid[initiallyValid] = true
+	}
+	count := len(valid)
+	for _, ev := range evs {
+		if valid[ev.Obj] != ev.To {
+			valid[ev.Obj] = ev.To
+			if ev.To {
+				count++
+			} else {
+				count--
+			}
+		}
+		if count > 1 {
+			return fmt.Errorf("core: %d protocol objects valid simultaneously at cycle %d (event on %q by P%d)",
+				count, ev.At, ev.Obj, ev.Proc)
+		}
+	}
+	return nil
+}

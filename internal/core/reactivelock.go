@@ -1,0 +1,347 @@
+package core
+
+import (
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/policy"
+	"repro/internal/spinlock"
+)
+
+// Mode values for the reactive lock's mode variable.
+const (
+	modeTTS   uint64 = 0
+	modeQueue uint64 = 1
+)
+
+// Queue-node status values.
+const (
+	stWaiting uint64 = 0
+	stGo      uint64 = 1
+	stInvalid uint64 = 2
+)
+
+// invalidTail marks the queue lock's tail pointer invalid: the
+// test-and-test-and-set lock is the valid protocol. The tail pointer is the
+// queue protocol's consensus object; the TTS flag is the TTS protocol's
+// consensus object (Section 3.3.1) — an invalid lock is simply left in a
+// busy/invalid state, removing any separate valid-bit check from the
+// common path.
+const invalidTail = ^uint64(0)
+
+// ReleaseMode tells Release which protocol to release and whether to
+// perform a protocol change (the release_mode of Figure 3.27).
+type ReleaseMode int
+
+// Release modes.
+const (
+	RelTTS ReleaseMode = iota
+	RelQueue
+	RelTTSToQueue
+	RelQueueToTTS
+)
+
+// ReactiveLock is the reactive spin lock of Section 3.7.3: a
+// test-and-test-and-set lock, an MCS queue lock, and a mode variable that
+// hints which sub-lock to use. The algorithm guarantees the two sub-locks
+// are never free at the same time; processes that follow a stale hint find
+// a busy or invalid sub-lock and retry with the other protocol.
+type ReactiveLock struct {
+	mode machine.Addr // hint: modeTTS or modeQueue (own cache line)
+	tts  machine.Addr // TTS flag: 0 free, 1 busy
+	tail machine.Addr // MCS tail: 0 empty, invalidTail invalid, else node
+
+	mem   *memsys.System
+	nodes []spinlock.QNode
+	bo    spinlock.Backoff
+	mean  []machine.Time // per-proc backoff state
+
+	// Policy decides when to act on detected sub-optimality. Default:
+	// policy.AlwaysSwitch.
+	Policy policy.Policy
+
+	// Detection thresholds (Section 3.7.3): switch to the queue protocol
+	// after more than TTSRetryLimit failed test&sets in one acquisition;
+	// switch to TTS after EmptyQueueLimit consecutive acquisitions that
+	// found the queue empty.
+	TTSRetryLimit   int
+	EmptyQueueLimit int
+
+	// Residual costs fed to the 3-competitive policy (Section 3.5.5: 150
+	// cycles for TTS under high contention, 15 for the queue under low).
+	ResidualTTSHigh  uint64
+	ResidualQueueLow uint64
+
+	// Optimistic controls the latency optimization of trying the TTS lock
+	// before reading the mode variable (ablation; default true).
+	Optimistic bool
+
+	// Changes counts protocol changes performed.
+	Changes uint64
+
+	emptyStreak []int
+
+	// Check optionally records protocol changes for C-serial verification.
+	Check *HistoryChecker
+}
+
+// Handle is the per-acquisition state Release needs.
+type Handle struct {
+	rel  ReleaseMode
+	node spinlock.QNode
+}
+
+// Direction indices for policy events.
+const (
+	dirToQueue policy.Direction = 0
+	dirToTTS   policy.Direction = 1
+)
+
+// NewReactiveLock builds a reactive spin lock homed on node home.
+func NewReactiveLock(mem *memsys.System, home int) *ReactiveLock {
+	procs := mem.Config().NumNodes
+	l := &ReactiveLock{
+		mode:             mem.Alloc(home, 1),
+		tts:              mem.Alloc(home, 1),
+		tail:             mem.Alloc(home, 1),
+		mem:              mem,
+		nodes:            make([]spinlock.QNode, procs),
+		bo:               spinlock.DefaultBackoff,
+		mean:             make([]machine.Time, procs),
+		Policy:           policy.AlwaysSwitch{},
+		TTSRetryLimit:    3,
+		EmptyQueueLimit:  4,
+		ResidualTTSHigh:  150,
+		ResidualQueueLow: 15,
+		Optimistic:       true,
+		emptyStreak:      make([]int, procs),
+	}
+	// Initial state: TTS mode; TTS lock free, queue invalid.
+	mem.Poke(l.mode, modeTTS)
+	mem.Poke(l.tts, 0)
+	mem.Poke(l.tail, invalidTail)
+	return l
+}
+
+// Name implements spinlock.Lock.
+func (l *ReactiveLock) Name() string { return "reactive" }
+
+func (l *ReactiveLock) node(proc int) spinlock.QNode {
+	if l.nodes[proc].Base == 0 {
+		l.nodes[proc] = spinlock.NewQNode(l.mem, proc)
+	}
+	return l.nodes[proc]
+}
+
+// Acquire implements spinlock.Lock: the top-level dispatch of Figure 3.27.
+func (l *ReactiveLock) Acquire(c machine.Context) spinlock.Handle {
+	i := l.node(c.ProcID())
+	if l.Optimistic {
+		// Optimistically try the TTS lock before checking the mode
+		// variable: zero-contention fast path.
+		if c.TestAndSet(l.tts) == 0 {
+			l.Policy.Optimal(dirToQueue)
+			return &Handle{rel: RelTTS, node: i}
+		}
+	}
+	if c.Read(l.mode) == modeTTS {
+		return l.acquireTTS(c, i)
+	}
+	return l.acquireQueue(c, i)
+}
+
+// Release implements spinlock.Lock: dispatch on the release mode.
+func (l *ReactiveLock) Release(c machine.Context, h spinlock.Handle) {
+	hd := h.(*Handle)
+	switch hd.rel {
+	case RelTTS:
+		c.Write(l.tts, 0)
+	case RelQueue:
+		l.releaseQueue(c, hd.node)
+	case RelTTSToQueue:
+		l.releaseTTSToQueue(c, hd.node)
+	case RelQueueToTTS:
+		l.releaseQueueToTTS(c, hd.node)
+	}
+}
+
+// acquireTTS is Figure 3.28's acquire_tts: test-and-test-and-set with
+// randomized exponential backoff, monitoring failed test&set attempts
+// (M>) and consulting the policy for a protocol change (P>).
+func (l *ReactiveLock) acquireTTS(c machine.Context, i spinlock.QNode) *Handle {
+	p := c.ProcID()
+	rel := RelTTS
+	retries := 0
+	reported := false
+	mean := l.mean[p]
+	if mean == 0 {
+		mean = l.bo.Initial
+	}
+	for {
+		if c.Read(l.tts) == 0 {
+			if c.TestAndSet(l.tts) == 0 {
+				l.mean[p] = mean / 2
+				if retries <= l.TTSRetryLimit {
+					l.Policy.Optimal(dirToQueue)
+				}
+				return &Handle{rel: rel, node: i}
+			}
+		}
+		retries++
+		if retries > l.TTSRetryLimit && !reported {
+			// Contention detected: this acquisition is being served by a
+			// sub-optimal protocol. The policy decides whether to change.
+			reported = true
+			if l.Policy.Suboptimal(dirToQueue, l.ResidualTTSHigh) {
+				rel = RelTTSToQueue
+			}
+		}
+		c.Advance(c.Rand().Uint64n(mean) + 1)
+		if mean*2 <= l.bo.Max {
+			mean *= 2
+		}
+		if c.Read(l.mode) != modeTTS {
+			return l.acquireQueue(c, i) // mode changed under us
+		}
+	}
+}
+
+// acquireQueue is Figure 3.28's acquire_queue: the MCS enqueue, modified to
+// detect the invalid queue (consensus object) and the empty-queue streak.
+func (l *ReactiveLock) acquireQueue(c machine.Context, i spinlock.QNode) *Handle {
+	p := c.ProcID()
+	c.Advance(6) // queue-node setup bookkeeping
+	c.Write(i.Next(), 0)
+	pred := c.FetchAndStore(l.tail, uint64(i.Base))
+	if pred == 0 {
+		// Queue was empty and valid: lock acquired immediately; low
+		// contention observed.
+		l.emptyStreak[p]++
+		if l.emptyStreak[p] > l.EmptyQueueLimit {
+			if l.Policy.Suboptimal(dirToTTS, l.ResidualQueueLow) {
+				l.emptyStreak[p] = 0
+				return &Handle{rel: RelQueueToTTS, node: i}
+			}
+		}
+		return &Handle{rel: RelQueue, node: i}
+	}
+	if pred != invalidTail {
+		// Queue was non-empty: wait for GO or INVALID from predecessor.
+		c.Write(i.Status(), stWaiting)
+		c.Write(spinlock.QNode{Base: memsys.Addr(pred)}.Next(), uint64(i.Base))
+		l.emptyStreak[p] = 0
+		st := c.Read(i.Status())
+		for st == stWaiting {
+			c.Advance(2)
+			st = c.Read(i.Status())
+		}
+		if st == stGo {
+			l.Policy.Optimal(dirToTTS)
+			return &Handle{rel: RelQueue, node: i}
+		}
+		return l.acquireTTS(c, i) // invalid signal: retry with TTS
+	}
+	// We swapped ourselves onto an invalid queue: restore the invalid
+	// marker, signal anyone who queued behind us, and retry with TTS.
+	l.invalidateQueue(c, i)
+	return l.acquireTTS(c, i)
+}
+
+// releaseQueue is the MCS release (Figure 3.28's release_queue), using the
+// fetch&store-only race resolution.
+func (l *ReactiveLock) releaseQueue(c machine.Context, i spinlock.QNode) {
+	c.Advance(4) // successor-check bookkeeping
+	next := c.Read(i.Next())
+	if next == 0 {
+		oldTail := c.FetchAndStore(l.tail, 0)
+		if oldTail == uint64(i.Base) {
+			return
+		}
+		usurper := c.FetchAndStore(l.tail, oldTail)
+		for next = c.Read(i.Next()); next == 0; next = c.Read(i.Next()) {
+			c.Advance(2)
+		}
+		if usurper != 0 && usurper != invalidTail {
+			c.Write(spinlock.QNode{Base: memsys.Addr(usurper)}.Next(), next)
+			return
+		}
+		c.Write(spinlock.QNode{Base: memsys.Addr(next)}.Status(), stGo)
+		return
+	}
+	c.Write(spinlock.QNode{Base: memsys.Addr(next)}.Status(), stGo)
+}
+
+// releaseTTSToQueue performs the TTS→QUEUE protocol change (Figure 3.29).
+// Called only by the holder of the (valid) TTS lock, which makes protocol
+// changes serializable: the holder has the consensus object.
+func (l *ReactiveLock) releaseTTSToQueue(c machine.Context, i spinlock.QNode) {
+	l.acquireInvalidQueue(c, i)
+	c.Write(l.mode, modeQueue)
+	// Release the queue lock; the TTS lock is left busy (= invalid).
+	l.releaseQueue(c, i)
+	l.finishChange(c, "tts", "queue")
+}
+
+// releaseQueueToTTS performs the QUEUE→TTS protocol change (Figure 3.29).
+// Called only by the holder of the (valid) queue lock.
+func (l *ReactiveLock) releaseQueueToTTS(c machine.Context, i spinlock.QNode) {
+	c.Write(l.mode, modeTTS)
+	l.invalidateQueue(c, i)
+	c.Write(l.tts, 0)
+	l.finishChange(c, "queue", "tts")
+}
+
+// finishChange records bookkeeping for a completed protocol change. The
+// changer holds both protocols' consensus objects across the transition, so
+// from other processes' perspective the validity swap is atomic; it is
+// recorded at a single serialization instant (the completion time).
+func (l *ReactiveLock) finishChange(c machine.Context, from, to string) {
+	l.Changes++
+	l.Policy.Switched()
+	if l.Check != nil {
+		now := c.Now()
+		l.Check.RecordValidity(from, now, false, c.ProcID())
+		l.Check.RecordValidity(to, now, true, c.ProcID())
+		l.Check.RecordInterval(from, ChangeInterval, c.ProcID(), now, now)
+		l.Check.RecordInterval(to, ChangeInterval, c.ProcID(), now, now)
+	}
+}
+
+// acquireInvalidQueue is Figure 3.29's acquire_invalid_queue: take
+// ownership of the invalid queue (tail must be INVALID or point to the
+// tail of an invalid queue). On return, this process is the queue holder.
+func (l *ReactiveLock) acquireInvalidQueue(c machine.Context, i spinlock.QNode) {
+	for {
+		c.Write(i.Next(), 0)
+		pred := c.FetchAndStore(l.tail, uint64(i.Base))
+		if pred == invalidTail {
+			return
+		}
+		// Got onto the tail of an invalid queue: wait for the INVALID
+		// signal and retry.
+		c.Write(i.Status(), stWaiting)
+		c.Write(spinlock.QNode{Base: memsys.Addr(pred)}.Next(), uint64(i.Base))
+		for c.Read(i.Status()) == stWaiting {
+			c.Advance(2)
+		}
+	}
+}
+
+// invalidateQueue is Figure 3.29's invalidate_queue: mark the tail invalid
+// and signal INVALID to every node from head through the old tail. Called
+// only by a process that owns the queue (validly or invalidly).
+func (l *ReactiveLock) invalidateQueue(c machine.Context, head spinlock.QNode) {
+	tail := c.FetchAndStore(l.tail, invalidTail)
+	cur := head
+	for uint64(cur.Base) != tail {
+		var next uint64
+		for next = c.Read(cur.Next()); next == 0; next = c.Read(cur.Next()) {
+			c.Advance(2)
+		}
+		c.Write(cur.Status(), stInvalid)
+		cur = spinlock.QNode{Base: memsys.Addr(next)}
+	}
+	c.Write(cur.Status(), stInvalid)
+}
+
+// Mode returns the current protocol hint (test use).
+func (l *ReactiveLock) Mode() uint64 { return l.mem.Peek(l.mode) }

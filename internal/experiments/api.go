@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/fetchop"
+	"repro/internal/machine"
+	"repro/internal/spinlock"
+	"repro/internal/tasksys"
+)
+
+// Exported single-measurement entry points used by the repository-level
+// benchmark harness (bench_test.go): each runs one experiment configuration
+// and returns the simulated-cycle metric the corresponding paper artifact
+// plots.
+
+// LockProtocols lists the spin-lock protocol names accepted by
+// LockOverhead.
+func LockProtocols() []string {
+	return []string{"test&set", "test&test&set", "mcs-queue", "mp-queue", "reactive"}
+}
+
+// LockOverhead measures the average per-critical-section overhead of the
+// named protocol with the given contenders on a machineProcs-node machine
+// (the Figure 3.15 baseline loop).
+func LockOverhead(proto string, machineProcs, contenders, iters int) Time {
+	return lockOverhead(func(m *machine.Machine) spinlock.Lock {
+		return makeLock(m, proto)
+	}, machineProcs, contenders, iters, nil)
+}
+
+func makeLock(m *machine.Machine, proto string) spinlock.Lock {
+	return makeLockAt(m, proto, 0)
+}
+
+func makeLockAt(m *machine.Machine, proto string, home int) spinlock.Lock {
+	switch proto {
+	case "test&set":
+		return spinlock.NewTAS(m.Mem, home, spinlock.DefaultBackoff)
+	case "test&test&set":
+		return spinlock.NewTTS(m.Mem, home, spinlock.DefaultBackoff)
+	case "mcs-queue":
+		return spinlock.NewMCS(m.Mem, home)
+	case "mp-queue":
+		return spinlock.NewMPQueue(home)
+	case "reactive":
+		return core.NewReactiveLock(m.Mem, home)
+	case "reactive-nonoptimistic":
+		l := core.NewReactiveLock(m.Mem, home)
+		l.Optimistic = false
+		return l
+	default:
+		panic("experiments: unknown lock protocol " + proto)
+	}
+}
+
+// FopProtocols lists the fetch-and-op protocol names accepted by
+// FopOverhead.
+func FopProtocols() []string {
+	return []string{"tts-lock", "queue-lock", "combining-tree", "mp-central", "mp-combining-tree", "reactive"}
+}
+
+// FopOverhead measures the average per-operation overhead of the named
+// fetch-and-op protocol (the Figure 3.15 baseline loop).
+func FopOverhead(proto string, machineProcs, contenders, iters int) Time {
+	return fopOverhead(func(m *machine.Machine, nleaves int) fetchop.FetchOp {
+		switch proto {
+		case "tts-lock":
+			return fetchop.NewTTSLockFOP(m.Mem, 0)
+		case "queue-lock":
+			return fetchop.NewQueueLockFOP(m.Mem, 0)
+		case "combining-tree":
+			return fetchop.NewCombTree(m.Mem, nleaves, 0)
+		case "mp-central":
+			return fetchop.NewMPCentral(0)
+		case "mp-combining-tree":
+			return fetchop.NewMPCombTree(m, nleaves, 0)
+		case "reactive":
+			return core.NewReactiveFetchOp(m.Mem, 0, nleaves)
+		default:
+			panic("experiments: unknown fetch-and-op protocol " + proto)
+		}
+	}, machineProcs, contenders, iters)
+}
+
+// MultiLockElapsed runs one multiple-lock pattern under the named
+// algorithm ("optimal", "test&set", "mcs-queue", or "reactive").
+func MultiLockElapsed(patternIdx int, alg string, total int) Time {
+	pat := Patterns()[patternIdx]
+	return multiLockElapsed(pat, total, func(m *machine.Machine, contenders, home int) spinlock.Lock {
+		if alg == "optimal" {
+			if contenders < 2 {
+				return spinlock.NewTTS(m.Mem, home, spinlock.DefaultBackoff)
+			}
+			return spinlock.NewMCS(m.Mem, home)
+		}
+		return makeLockAt(m, alg, home)
+	})
+}
+
+// TimeVaryElapsed runs the time-varying contention test for the named
+// algorithm.
+func TimeVaryElapsed(alg string, periodLen, pctContention, periods int) Time {
+	return timeVaryElapsed(func(m *machine.Machine) spinlock.Lock {
+		return makeLock(m, alg)
+	}, periodLen, pctContention, periods)
+}
+
+// LockOverheadBroadcast is LockOverhead with the broadcast-invalidation
+// ablation enabled.
+func LockOverheadBroadcast(proto string, machineProcs, contenders, iters int) Time {
+	return lockOverhead(func(m *machine.Machine) spinlock.Lock {
+		return makeLock(m, proto)
+	}, machineProcs, contenders, iters, func(cfg *machine.Config) {
+		cfg.Mem.Broadcast = true
+	})
+}
+
+// LockOverheadFullMap is LockOverhead with the full-map (DirNNB) directory.
+func LockOverheadFullMap(proto string, machineProcs, contenders, iters int) Time {
+	return lockOverhead(func(m *machine.Machine) spinlock.Lock {
+		return makeLock(m, proto)
+	}, machineProcs, contenders, iters, func(cfg *machine.Config) {
+		cfg.Mem.HWPointers = -1
+	})
+}
+
+// CombTreePatienceOverhead measures the combining tree with a given
+// patience window (ablation of the design choice in DESIGN.md).
+func CombTreePatienceOverhead(patience Time, machineProcs, contenders, iters int) Time {
+	return fopOverhead(func(m *machine.Machine, nleaves int) fetchop.FetchOp {
+		return fetchop.NewCombTree(m.Mem, nleaves, patience)
+	}, machineProcs, contenders, iters)
+}
+
+// CompetitiveWorstCaseRatio plays the Figure 3.14 adversary against the
+// Borodin-Linial-Saks nearly-oblivious policy on the two-protocol task
+// system: contention flips to disfavor the algorithm right after every
+// switch. It returns on-line cost / off-line optimal cost, which the
+// 3-competitive bound caps (asymptotically) at 3.
+func CompetitiveWorstCaseRatio(requests int) float64 {
+	sys := tasksys.ProtocolSystem(100, 100, 10, 10)
+	alg := tasksys.NewNearlyOblivious(sys, 0)
+	seq := make([]int, requests)
+	for i := range seq {
+		// Adversary: request the task that is expensive in the current state.
+		task := 1
+		if alg.State() == 1 {
+			task = 0
+		}
+		seq[i] = task
+		alg.Serve(task)
+	}
+	opt := sys.OfflineOptimal(seq, 0)
+	if opt == 0 {
+		return 0
+	}
+	return alg.Total() / opt
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/barrier"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// barrierEpisodes runs rounds barrier episodes over procs processors and
+// returns the average cycles per episode (minus the mean compute skew).
+func barrierEpisodes(mk func(m *machine.Machine) barrier.Barrier, procs, rounds int) Time {
+	m := machine.New(machine.DefaultConfig(procs))
+	b := mk(m)
+	var end Time
+	for p := 0; p < procs; p++ {
+		m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+			for r := 0; r < rounds; r++ {
+				c.Advance(Time(c.Rand().Intn(200) + 10))
+				b.Wait(c)
+			}
+			if c.Now() > end {
+				end = c.Now()
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	avg := end / Time(rounds)
+	const skew = 210 // max compute before each episode
+	if avg <= skew {
+		return 0
+	}
+	return avg - skew
+}
+
+// BarrierBaseline regenerates the reactive-barrier extension experiment
+// (thesis Section 6.2 future work): per-episode overhead of the central,
+// combining-tree, and reactive barriers versus participant count.
+func BarrierBaseline(sz Sizes) *stats.Table {
+	t := &stats.Table{Header: []string{"procs", "central", "combining-tree", "reactive"}}
+	rounds := 4 * sz.AppScale
+	if rounds < 4 {
+		rounds = 4
+	}
+	for _, procs := range []int{2, 4, 8, 16, 32, 64} {
+		row := []string{fmt.Sprintf("%d", procs)}
+		for _, mk := range []func(m *machine.Machine) barrier.Barrier{
+			func(m *machine.Machine) barrier.Barrier { return barrier.NewCentral(m.Mem, 0, m.NumProcs()) },
+			func(m *machine.Machine) barrier.Barrier { return barrier.NewTree(m.Mem, m.NumProcs(), 0) },
+			func(m *machine.Machine) barrier.Barrier { return barrier.NewReactive(m.Mem, 0, m.NumProcs()) },
+		} {
+			row = append(row, fmt.Sprintf("%d", barrierEpisodes(mk, procs, rounds)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// BarrierOverhead is the exported single-measurement entry point for the
+// benchmark harness.
+func BarrierOverhead(proto string, procs, rounds int) Time {
+	return barrierEpisodes(func(m *machine.Machine) barrier.Barrier {
+		switch proto {
+		case "central":
+			return barrier.NewCentral(m.Mem, 0, m.NumProcs())
+		case "combining-tree":
+			return barrier.NewTree(m.Mem, m.NumProcs(), 0)
+		case "reactive":
+			return barrier.NewReactive(m.Mem, 0, m.NumProcs())
+		default:
+			panic("experiments: unknown barrier protocol " + proto)
+		}
+	}, procs, rounds)
+}

@@ -1,0 +1,218 @@
+// Package experiments regenerates every table and figure of the thesis's
+// evaluation sections on the simulated machine. Each Fig/Table function
+// returns a stats.Table whose rows correspond to the paper's data series;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Absolute cycle counts differ from Alewife's (different constants), but
+// the reproduced content is the *shape*: which protocol wins at which
+// contention level, where the crossovers fall, and the relative factors.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/spinlock"
+	"repro/internal/stats"
+)
+
+// Time is simulated cycles.
+type Time = machine.Time
+
+// Sizes scales the experiments: Quick for tests and CI, Full for
+// paper-scale runs.
+type Sizes struct {
+	BaselineIters   int   // critical sections per processor per data point
+	BaselineProcs   []int // contention levels swept
+	MultiLockTotal  int   // total acquisitions in the multiple-lock test
+	TimeVaryPeriods int   // periods in the time-varying test
+	AppScale        int   // divisor-free scale knob for applications
+}
+
+// Quick returns test-scale sizes.
+func Quick() Sizes {
+	return Sizes{
+		BaselineIters:   60,
+		BaselineProcs:   []int{1, 2, 4, 8, 16, 32},
+		MultiLockTotal:  2048,
+		TimeVaryPeriods: 4,
+		AppScale:        1,
+	}
+}
+
+// Full returns paper-scale sizes (64-processor sweeps).
+func Full() Sizes {
+	return Sizes{
+		BaselineIters:   150,
+		BaselineProcs:   []int{1, 2, 4, 8, 16, 32, 64},
+		MultiLockTotal:  16384,
+		TimeVaryPeriods: 10,
+		AppScale:        4,
+	}
+}
+
+// lockMaker builds a lock on a fresh machine.
+type lockMaker struct {
+	name string
+	mk   func(m *machine.Machine) spinlock.Lock
+}
+
+func baselineLockMakers() []lockMaker {
+	return []lockMaker{
+		{"test&set", func(m *machine.Machine) spinlock.Lock {
+			return spinlock.NewTAS(m.Mem, 0, spinlock.DefaultBackoff)
+		}},
+		{"test&test&set", func(m *machine.Machine) spinlock.Lock {
+			return spinlock.NewTTS(m.Mem, 0, spinlock.DefaultBackoff)
+		}},
+		{"mcs-queue", func(m *machine.Machine) spinlock.Lock {
+			return spinlock.NewMCS(m.Mem, 0)
+		}},
+		{"reactive", func(m *machine.Machine) spinlock.Lock {
+			return core.NewReactiveLock(m.Mem, 0)
+		}},
+	}
+}
+
+// lockOverhead runs the baseline test loop of Section 3.5.1 — acquire,
+// 100-cycle critical section, release, think U(0,500) — with contenders
+// processors on a machineProcs-node machine, and returns the average
+// overhead per critical section after subtracting the test-loop latency.
+func lockOverhead(mk func(m *machine.Machine) spinlock.Lock, machineProcs, contenders, iters int, cfgMod func(*machine.Config)) Time {
+	cfg := machine.DefaultConfig(machineProcs)
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	m := machine.New(cfg)
+	l := mk(m)
+	var end Time
+	for p := 0; p < contenders; p++ {
+		m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+			for i := 0; i < iters; i++ {
+				h := l.Acquire(c)
+				c.Advance(100)
+				l.Release(c, h)
+				c.Advance(Time(c.Rand().Intn(500)))
+			}
+			if c.Now() > end {
+				end = c.Now()
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	total := contenders * iters
+	avg := end / Time(total)
+	// Test-loop latency per critical section (Section 3.5.1): with P
+	// contenders the 250-cycle mean think time overlaps P-ways.
+	var loop Time
+	switch contenders {
+	case 1:
+		loop = 350
+	case 2:
+		loop = 175
+	default:
+		loop = 100
+	}
+	if avg <= loop {
+		return 0
+	}
+	return avg - loop
+}
+
+// Fig3_15SpinLocks regenerates the spin-lock half of Figure 3.15 (and
+// Figures 1.1/3.2): overhead per critical section versus contending
+// processors for each protocol.
+func Fig3_15SpinLocks(sz Sizes) *stats.Table {
+	t := &stats.Table{Header: []string{"procs"}}
+	makers := baselineLockMakers()
+	for _, mk := range makers {
+		t.Header = append(t.Header, mk.name)
+	}
+	maxP := sz.BaselineProcs[len(sz.BaselineProcs)-1]
+	for _, p := range sz.BaselineProcs {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, mk := range makers {
+			ov := lockOverhead(mk.mk, maxP, p, sz.BaselineIters, nil)
+			row = append(row, fmt.Sprintf("%d", ov))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig3_16Prototype regenerates the 16-processor "Alewife prototype" run:
+// the same baseline on a 16-node machine with a fixed 250-cycle think time.
+func Fig3_16Prototype(sz Sizes) *stats.Table {
+	t := &stats.Table{Header: []string{"procs"}}
+	makers := baselineLockMakers()
+	for _, mk := range makers {
+		t.Header = append(t.Header, mk.name)
+	}
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, mk := range makers {
+			ov := fixedThinkOverhead(mk.mk, 16, p, sz.BaselineIters*2)
+			row = append(row, fmt.Sprintf("%d", ov))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func fixedThinkOverhead(mk func(m *machine.Machine) spinlock.Lock, machineProcs, contenders, iters int) Time {
+	m := machine.New(machine.DefaultConfig(machineProcs))
+	l := mk(m)
+	var end Time
+	for p := 0; p < contenders; p++ {
+		m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+			for i := 0; i < iters; i++ {
+				h := l.Acquire(c)
+				c.Advance(100)
+				l.Release(c, h)
+				c.Advance(250)
+			}
+			if c.Now() > end {
+				end = c.Now()
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	avg := end / Time(contenders*iters)
+	var loop Time
+	switch contenders {
+	case 1:
+		loop = 350
+	case 2:
+		loop = 175
+	default:
+		loop = 100
+	}
+	if avg <= loop {
+		return 0
+	}
+	return avg - loop
+}
+
+// Fig3_2DirNNB regenerates the DirNNB ablation of Figure 3.2: the
+// test-and-test-and-set lock on the LimitLESS directory versus a full-map
+// directory that handles all coherence in hardware.
+func Fig3_2DirNNB(sz Sizes) *stats.Table {
+	t := &stats.Table{Header: []string{"procs", "tts-limitless", "tts-dirnnb"}}
+	maxP := sz.BaselineProcs[len(sz.BaselineProcs)-1]
+	mkTTS := func(m *machine.Machine) spinlock.Lock {
+		return spinlock.NewTTS(m.Mem, 0, spinlock.DefaultBackoff)
+	}
+	for _, p := range sz.BaselineProcs {
+		limitless := lockOverhead(mkTTS, maxP, p, sz.BaselineIters, nil)
+		fullmap := lockOverhead(mkTTS, maxP, p, sz.BaselineIters, func(cfg *machine.Config) {
+			cfg.Mem.HWPointers = -1
+		})
+		t.AddRow(fmt.Sprintf("%d", p), fmt.Sprintf("%d", limitless), fmt.Sprintf("%d", fullmap))
+	}
+	return t
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fetchop"
+	"repro/internal/machine"
+	"repro/internal/spinlock"
+	"repro/internal/waiting"
+)
+
+func mkTTS(m *machine.Machine) spinlock.Lock {
+	return spinlock.NewTTS(m.Mem, 0, spinlock.DefaultBackoff)
+}
+func mkMCS(m *machine.Machine) spinlock.Lock { return spinlock.NewMCS(m.Mem, 0) }
+func mkReactive(m *machine.Machine) spinlock.Lock {
+	return core.NewReactiveLock(m.Mem, 0)
+}
+
+func TestBaselineShapeSpinLocks(t *testing.T) {
+	// The Figure 3.15 crossover: TTS wins at 1 processor, MCS wins at 16;
+	// the reactive lock tracks the winner within a modest factor at both
+	// extremes.
+	iters := 30
+	tts1 := lockOverhead(mkTTS, 32, 1, iters, nil)
+	mcs1 := lockOverhead(mkMCS, 32, 1, iters, nil)
+	re1 := lockOverhead(mkReactive, 32, 1, iters, nil)
+	if !(tts1 < mcs1) {
+		t.Errorf("P=1: tts %d should beat mcs %d", tts1, mcs1)
+	}
+	if float64(re1) > 1.5*float64(tts1) {
+		t.Errorf("P=1: reactive %d too far above tts %d", re1, tts1)
+	}
+	tts16 := lockOverhead(mkTTS, 32, 16, iters, nil)
+	mcs16 := lockOverhead(mkMCS, 32, 16, iters, nil)
+	re16 := lockOverhead(mkReactive, 32, 16, iters, nil)
+	if !(mcs16 < tts16) {
+		t.Errorf("P=16: mcs %d should beat tts %d", mcs16, tts16)
+	}
+	if float64(re16) > 1.6*float64(mcs16) {
+		t.Errorf("P=16: reactive %d too far above mcs %d", re16, mcs16)
+	}
+}
+
+func TestBaselineShapeFetchOp(t *testing.T) {
+	// Figure 3.15 right: lock-based wins at P=1; the combining tree wins at
+	// P=32; the reactive algorithm is near the winner at both.
+	iters := 25
+	mkTTSF := func(m *machine.Machine, _ int) fetchop.FetchOp { return fetchop.NewTTSLockFOP(m.Mem, 0) }
+	mkTree := func(m *machine.Machine, n int) fetchop.FetchOp { return fetchop.NewCombTree(m.Mem, n, 0) }
+	mkRe := func(m *machine.Machine, n int) fetchop.FetchOp { return core.NewReactiveFetchOp(m.Mem, 0, n) }
+	l1 := fopOverhead(mkTTSF, 32, 1, iters)
+	t1 := fopOverhead(mkTree, 32, 1, iters)
+	r1 := fopOverhead(mkRe, 32, 1, iters)
+	if !(l1 < t1) {
+		t.Errorf("P=1: lock-based %d should beat tree %d", l1, t1)
+	}
+	if float64(r1) > 2*float64(l1) {
+		t.Errorf("P=1: reactive %d too far above lock-based %d", r1, l1)
+	}
+	// Longer run at P=32 so the reactive algorithm's TTS→QUEUE→TREE
+	// transition transient amortizes (the paper measures steady state).
+	l32 := fopOverhead(mkTTSF, 32, 32, iters)
+	t32 := fopOverhead(mkTree, 32, 32, 80)
+	r32 := fopOverhead(mkRe, 32, 32, 80)
+	if !(t32 < l32) {
+		t.Errorf("P=32: tree %d should beat lock-based %d", t32, l32)
+	}
+	if float64(r32) > 1.6*float64(t32) {
+		t.Errorf("P=32: reactive %d too far above tree %d", r32, t32)
+	}
+}
+
+func TestDirNNBAblation(t *testing.T) {
+	// Figure 3.2: the full-map directory reduces TTS overhead at high
+	// contention but TTS still scales poorly (stays above MCS).
+	iters := 25
+	limitless := lockOverhead(mkTTS, 32, 32, iters, nil)
+	fullmap := lockOverhead(mkTTS, 32, 32, iters, func(cfg *machine.Config) {
+		cfg.Mem.HWPointers = -1
+	})
+	if fullmap >= limitless {
+		t.Errorf("full-map (%d) should reduce TTS overhead vs LimitLESS (%d)", fullmap, limitless)
+	}
+	mcs := lockOverhead(mkMCS, 32, 32, iters, nil)
+	if fullmap <= mcs {
+		t.Errorf("even full-map TTS (%d) should not beat MCS (%d) at 32 procs", fullmap, mcs)
+	}
+}
+
+func TestMultiLockReactiveNearOptimal(t *testing.T) {
+	// Section 3.5.3's headline: the reactive algorithm is within a small
+	// factor of the simulated-optimal static assignment on mixed patterns.
+	pat := Patterns()[0] // 1 lock x32 + 32 locks x1
+	total := 2048
+	opt := multiLockElapsed(pat, total, func(m *machine.Machine, contenders, home int) spinlock.Lock {
+		if contenders < 2 {
+			return spinlock.NewTTS(m.Mem, home, spinlock.DefaultBackoff)
+		}
+		return spinlock.NewMCS(m.Mem, home)
+	})
+	re := multiLockElapsed(pat, total, func(m *machine.Machine, _, home int) spinlock.Lock {
+		return core.NewReactiveLock(m.Mem, home)
+	})
+	if float64(re) > 1.35*float64(opt) {
+		t.Errorf("reactive %d vs optimal %d: more than 35%% off", re, opt)
+	}
+	// And the reactive lock beats at least one of the static choices.
+	tas := multiLockElapsed(pat, total, func(m *machine.Machine, _, home int) spinlock.Lock {
+		return spinlock.NewTAS(m.Mem, home, spinlock.DefaultBackoff)
+	})
+	mcs := multiLockElapsed(pat, total, func(m *machine.Machine, _, home int) spinlock.Lock {
+		return spinlock.NewMCS(m.Mem, home)
+	})
+	if re > tas && re > mcs {
+		t.Errorf("reactive %d worse than both static choices (tas %d, mcs %d)", re, tas, mcs)
+	}
+}
+
+func TestTimeVaryingMixedContention(t *testing.T) {
+	// Figure 3.21, 30-70%% contention band with long periods: the reactive
+	// lock should beat or match both passive locks.
+	mkTAS := func(m *machine.Machine) spinlock.Lock {
+		return spinlock.NewTAS(m.Mem, 0, spinlock.DefaultBackoff)
+	}
+	periods := 3
+	tas := timeVaryElapsed(mkTAS, 4096, 50, periods)
+	mcs := timeVaryElapsed(mkMCS, 4096, 50, periods)
+	re := timeVaryElapsed(mkReactive, 4096, 50, periods)
+	worst := tas
+	if mcs > worst {
+		worst = mcs
+	}
+	if re >= worst {
+		t.Errorf("reactive %d should beat the worst static choice (tas %d, mcs %d)", re, tas, mcs)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	sz := Quick()
+	sz.BaselineProcs = []int{1, 4}
+	sz.BaselineIters = 10
+	sz.MultiLockTotal = 1024
+	sz.TimeVaryPeriods = 2
+	for name, tab := range map[string]interface{ String() string }{
+		"table4.1": Table4_1BlockingCost(),
+		"fig4.4":   Fig4_4ExpFactors(),
+		"fig4.5":   Fig4_5UniformFactors(),
+	} {
+		if !strings.Contains(tab.String(), " ") {
+			t.Errorf("%s rendered empty", name)
+		}
+	}
+}
+
+func TestWaitTablesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wait tables are slow")
+	}
+	sz := Quick()
+	out := Fig4_13Barrier(sz).String()
+	if !strings.Contains(out, "jacobi-bar") || !strings.Contains(out, "cgrad") {
+		t.Fatalf("barrier table:\n%s", out)
+	}
+	out = Fig4_14Mutex(sz).String()
+	if !strings.Contains(out, "fibheap") {
+		t.Fatalf("mutex table:\n%s", out)
+	}
+}
+
+func TestTwoPhaseNearBestInApps(t *testing.T) {
+	// The thesis's robustness claim (Section 4.7.2): two-phase waiting is
+	// close to the best static choice on each benchmark class. Verified on
+	// the future-stream benchmark, where spin and block differ sharply.
+	sz := Quick()
+	bench := producerConsumerBenches(sz)[1] // future-stream
+	costs := threadsCosts()
+	spin := bench.run(sz, &waiting.AlwaysSpin{})
+	block := bench.run(sz, &waiting.AlwaysBlock{})
+	two := bench.run(sz, waiting.NewTwoPhaseAlpha(0.54, costs))
+	best := spin
+	if block < best {
+		best = block
+	}
+	if float64(two) > 1.35*float64(best) {
+		t.Errorf("2phase %d more than 35%% above best static %d (spin %d, block %d)", two, best, spin, block)
+	}
+}
+
+func TestWaitProfilesProduceData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles are slow")
+	}
+	sz := Quick()
+	profs := WaitProfiles(sz)
+	if len(profs) < 7 {
+		t.Fatalf("only %d profiles", len(profs))
+	}
+	for _, p := range profs {
+		if p.Sample.N() == 0 {
+			t.Errorf("profile %q has no observations", p.Name)
+		}
+	}
+}

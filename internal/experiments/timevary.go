@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/policy"
+	"repro/internal/spinlock"
+	"repro/internal/stats"
+)
+
+// timeVaryElapsed runs the time-varying contention test of Section 3.5.4
+// (Figure 3.20) on a 16-processor machine: each period consists of a
+// low-contention phase (one processor; 10-cycle critical sections, 20-cycle
+// think) and a high-contention phase (16 processors; 100-cycle critical
+// sections, 250-cycle think). periodLen is the number of lock acquisitions
+// per period; pctContention the percentage acquired under high contention.
+func timeVaryElapsed(mk func(m *machine.Machine) spinlock.Lock, periodLen, pctContention, periods int) Time {
+	const procs = 16
+	m := machine.New(machine.DefaultConfig(procs))
+	l := mk(m)
+	high := periodLen * pctContention / 100
+	low := periodLen - high
+	perHigh := high / procs
+	if perHigh == 0 && high > 0 {
+		perHigh = 1
+	}
+
+	// Phase coordination via engine-serialized Go state.
+	phase := 0 // increments after each half-period
+	arrived := 0
+	var end Time
+	barrier := func(c *machine.CPU, parties int) {
+		my := phase
+		arrived++
+		if arrived == parties {
+			arrived = 0
+			phase++
+			return
+		}
+		for phase == my {
+			c.Advance(50)
+		}
+	}
+	for p := 0; p < procs; p++ {
+		p := p
+		m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+			for per := 0; per < periods; per++ {
+				// Low-contention phase: processor 0 only.
+				if p == 0 {
+					for i := 0; i < low; i++ {
+						h := l.Acquire(c)
+						c.Advance(10)
+						l.Release(c, h)
+						c.Advance(20)
+					}
+				}
+				barrier(c, procs)
+				// High-contention phase: everyone.
+				for i := 0; i < perHigh; i++ {
+					h := l.Acquire(c)
+					c.Advance(100)
+					l.Release(c, h)
+					c.Advance(250)
+				}
+				barrier(c, procs)
+			}
+			if c.Now() > end {
+				end = c.Now()
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	return end
+}
+
+// timeVaryTable runs the time-varying test for the given algorithms across
+// period lengths and contention mixes, normalizing to the MCS queue lock.
+func timeVaryTable(sz Sizes, algs []struct {
+	name string
+	mk   func(m *machine.Machine) spinlock.Lock
+}) *stats.Table {
+	t := &stats.Table{Header: []string{"%cont", "period"}}
+	for _, a := range algs {
+		t.Header = append(t.Header, a.name)
+	}
+	periodLens := []int{256, 1024, 4096}
+	for _, pct := range []int{10, 50, 90} {
+		for _, pl := range periodLens {
+			row := []string{fmt.Sprintf("%d", pct), fmt.Sprintf("%d", pl)}
+			var mcs Time
+			for i, a := range algs {
+				el := timeVaryElapsed(a.mk, pl, pct, sz.TimeVaryPeriods)
+				if i == 0 {
+					mcs = el
+					row = append(row, "1.00")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%.2f", float64(el)/float64(mcs)))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// Fig3_21TimeVarying regenerates Figure 3.21: test&set, MCS and the
+// reactive lock (always-switch policy) under time-varying contention,
+// normalized to MCS.
+func Fig3_21TimeVarying(sz Sizes) *stats.Table {
+	return timeVaryTable(sz, []struct {
+		name string
+		mk   func(m *machine.Machine) spinlock.Lock
+	}{
+		{"mcs-queue", func(m *machine.Machine) spinlock.Lock { return spinlock.NewMCS(m.Mem, 0) }},
+		{"test&set", func(m *machine.Machine) spinlock.Lock {
+			return spinlock.NewTAS(m.Mem, 0, spinlock.DefaultBackoff)
+		}},
+		{"reactive-always", func(m *machine.Machine) spinlock.Lock { return core.NewReactiveLock(m.Mem, 0) }},
+	})
+}
+
+// Fig3_22Competitive regenerates Figure 3.22: the always-switch policy
+// versus the 3-competitive policy (switch when the cumulative residual
+// exceeds the 8800-cycle round-trip switching cost).
+func Fig3_22Competitive(sz Sizes) *stats.Table {
+	return timeVaryTable(sz, []struct {
+		name string
+		mk   func(m *machine.Machine) spinlock.Lock
+	}{
+		{"mcs-queue", func(m *machine.Machine) spinlock.Lock { return spinlock.NewMCS(m.Mem, 0) }},
+		{"reactive-always", func(m *machine.Machine) spinlock.Lock { return core.NewReactiveLock(m.Mem, 0) }},
+		{"reactive-3competitive", func(m *machine.Machine) spinlock.Lock {
+			l := core.NewReactiveLock(m.Mem, 0)
+			l.Policy = policy.NewCompetitive(8800)
+			return l
+		}},
+	})
+}
+
+// Fig3_23Hysteresis regenerates Figure 3.23: hysteresis policies
+// Hysteresis(20,55), Hysteresis(500,4) and Hysteresis(4,500).
+func Fig3_23Hysteresis(sz Sizes) *stats.Table {
+	mkHyst := func(x, y uint64) func(m *machine.Machine) spinlock.Lock {
+		return func(m *machine.Machine) spinlock.Lock {
+			l := core.NewReactiveLock(m.Mem, 0)
+			l.Policy = policy.NewHysteresis(x, y)
+			return l
+		}
+	}
+	return timeVaryTable(sz, []struct {
+		name string
+		mk   func(m *machine.Machine) spinlock.Lock
+	}{
+		{"mcs-queue", func(m *machine.Machine) spinlock.Lock { return spinlock.NewMCS(m.Mem, 0) }},
+		{"hysteresis(20,55)", mkHyst(20, 55)},
+		{"hysteresis(500,4)", mkHyst(500, 4)},
+		{"hysteresis(4,500)", mkHyst(4, 500)},
+	})
+}

@@ -1,0 +1,70 @@
+// Package fetchop implements the passive fetch-and-op protocols of
+// Section 3.1.2: centralized variables protected by test-and-test-and-set
+// or MCS queue locks, the Goodman-Vernon-Woest software combining tree
+// (Appendix C), a message-passing centralized protocol, and a
+// message-passing combining tree (Section 3.6).
+//
+// Fetch-and-add stands in for the combinable fetch-and-op operation, as in
+// the thesis's experiments.
+package fetchop
+
+import (
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/spinlock"
+)
+
+// FetchOp computes fetch-and-add atomically across the simulated machine.
+type FetchOp interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// FetchAdd atomically adds delta and returns the previous value.
+	FetchAdd(c machine.Context, delta uint64) uint64
+}
+
+// LockFOP is the lock-based fetch-and-op: acquire, update, release.
+type LockFOP struct {
+	lock spinlock.Lock
+	v    memsys.Addr
+	name string
+}
+
+// NewTTSLockFOP builds a fetch-and-op variable protected by a
+// test-and-test-and-set lock, both homed on node home.
+func NewTTSLockFOP(mem *memsys.System, home int) *LockFOP {
+	return &LockFOP{
+		lock: spinlock.NewTTS(mem, home, spinlock.DefaultBackoff),
+		v:    mem.Alloc(home, 1),
+		name: "tts-lock-fop",
+	}
+}
+
+// NewQueueLockFOP builds a fetch-and-op variable protected by an MCS lock.
+func NewQueueLockFOP(mem *memsys.System, home int) *LockFOP {
+	return &LockFOP{
+		lock: spinlock.NewMCS(mem, home),
+		v:    mem.Alloc(home, 1),
+		name: "queue-lock-fop",
+	}
+}
+
+// Name implements FetchOp.
+func (f *LockFOP) Name() string { return f.name }
+
+// FetchAdd implements FetchOp.
+func (f *LockFOP) FetchAdd(c machine.Context, delta uint64) uint64 {
+	h := f.lock.Acquire(c)
+	old := c.Read(f.v)
+	c.Write(f.v, old+delta)
+	f.lock.Release(c, h)
+	return old
+}
+
+// nextPow2 returns the smallest power of two >= n (minimum 2).
+func nextPow2(n int) int {
+	p := 2
+	for p < n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,197 @@
+package fetchop
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+type maker struct {
+	name string
+	mk   func(m *machine.Machine) FetchOp
+}
+
+func allMakers() []maker {
+	return []maker{
+		{"tts-lock", func(m *machine.Machine) FetchOp { return NewTTSLockFOP(m.Mem, 0) }},
+		{"queue-lock", func(m *machine.Machine) FetchOp { return NewQueueLockFOP(m.Mem, 0) }},
+		{"combtree", func(m *machine.Machine) FetchOp { return NewCombTree(m.Mem, 0, 0) }},
+		{"mp-central", func(m *machine.Machine) FetchOp { return NewMPCentral(0) }},
+		{"mp-combtree", func(m *machine.Machine) FetchOp { return NewMPCombTree(m, 0, 0) }},
+	}
+}
+
+// run executes procs processors each doing iters fetch&add(1) with random
+// think time, returning all fetched values and the elapsed cycles.
+func run(t *testing.T, mk func(m *machine.Machine) FetchOp, procs, iters int) ([]uint64, machine.Time) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(procs))
+	f := mk(m)
+	var got []uint64
+	var end machine.Time
+	for p := 0; p < procs; p++ {
+		m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+			for i := 0; i < iters; i++ {
+				v := f.FetchAdd(c, 1)
+				got = append(got, v)
+				c.Advance(machine.Time(c.Rand().Intn(500)))
+			}
+			if c.Now() > end {
+				end = c.Now()
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("%s: %v", f.Name(), err)
+	}
+	return got, end
+}
+
+// checkPermutation verifies the fetch&add results are exactly 0..n-1:
+// the linearizability invariant for concurrent fetch-and-increment.
+func checkPermutation(t *testing.T, name string, got []uint64, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("%s: %d results, want %d", name, len(got), n)
+	}
+	s := append([]uint64(nil), got...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	for i, v := range s {
+		if v != uint64(i) {
+			t.Fatalf("%s: results are not a permutation of 0..%d (pos %d = %d)", name, n-1, i, v)
+		}
+	}
+}
+
+func TestFetchAddPermutationAllProtocols(t *testing.T) {
+	for _, mk := range allMakers() {
+		for _, procs := range []int{1, 2, 8, 16} {
+			mk, procs := mk, procs
+			t.Run(mk.name, func(t *testing.T) {
+				iters := 10
+				got, _ := run(t, mk.mk, procs, iters)
+				checkPermutation(t, mk.name, got, procs*iters)
+			})
+		}
+	}
+}
+
+func TestCombiningHappensUnderContention(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(16))
+	tr := NewCombTree(m.Mem, 16, 0)
+	for p := 0; p < 16; p++ {
+		m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+			for i := 0; i < 20; i++ {
+				tr.FetchAdd(c, 1)
+				c.Advance(machine.Time(c.Rand().Intn(200)))
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Combines == 0 {
+		t.Fatal("no combining occurred under 16-way contention")
+	}
+}
+
+func TestCombTreeContentionTradeoff(t *testing.T) {
+	// Figure 3.2 shape: lock-based wins at 1 processor; the combining tree
+	// must beat the TTS-lock-based protocol at 32 processors, where lock
+	// contention serializes everything.
+	perOp := func(mk func(m *machine.Machine) FetchOp, procs int) machine.Time {
+		m := machine.New(machine.DefaultConfig(procs))
+		f := mk(m)
+		iters := 25
+		var end machine.Time
+		for p := 0; p < procs; p++ {
+			m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+				for i := 0; i < iters; i++ {
+					f.FetchAdd(c, 1)
+					c.Advance(machine.Time(c.Rand().Intn(500)))
+				}
+				if c.Now() > end {
+					end = c.Now()
+				}
+			})
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end / machine.Time(procs*iters)
+	}
+	lock1 := perOp(func(m *machine.Machine) FetchOp { return NewTTSLockFOP(m.Mem, 0) }, 1)
+	tree1 := perOp(func(m *machine.Machine) FetchOp { return NewCombTree(m.Mem, 64, 0) }, 1)
+	if lock1 >= tree1 {
+		t.Errorf("at 1 proc, lock-based (%d) should beat combining tree (%d)", lock1, tree1)
+	}
+	lock32 := perOp(func(m *machine.Machine) FetchOp { return NewTTSLockFOP(m.Mem, 0) }, 32)
+	tree32 := perOp(func(m *machine.Machine) FetchOp { return NewCombTree(m.Mem, 64, 0) }, 32)
+	if tree32 >= lock32 {
+		t.Errorf("at 32 procs, combining tree (%d) should beat tts-lock-based (%d)", tree32, lock32)
+	}
+}
+
+func TestMPCentralIsTwoMessages(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(2))
+	f := NewMPCentral(1)
+	var lat machine.Time
+	m.SpawnCPU(0, 0, "solo", func(c *machine.CPU) {
+		start := c.Now()
+		f.FetchAdd(c, 1)
+		lat = c.Now() - start
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.Config()
+	min := cfg.MsgSend + 2*cfg.MsgNetwork + 2*cfg.MsgHandler
+	// Polling quantizes: allow min..min+3 poll intervals.
+	if lat < min || lat > min+30 {
+		t.Fatalf("mp-central latency %d, want about %d", lat, min)
+	}
+}
+
+func TestMPCombTreeCombines(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(16))
+	f := NewMPCombTree(m, 16, 0)
+	var got []uint64
+	for p := 0; p < 16; p++ {
+		m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+			for i := 0; i < 10; i++ {
+				got = append(got, f.FetchAdd(c, 1))
+				c.Advance(machine.Time(c.Rand().Intn(100)))
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	checkPermutation(t, "mp-combtree", got, 160)
+	if f.Combines == 0 {
+		t.Fatal("no message combining occurred")
+	}
+	if f.Value() != 160 {
+		t.Fatalf("final value %d", f.Value())
+	}
+}
+
+func TestDeterministicFetchOp(t *testing.T) {
+	for _, mk := range allMakers() {
+		_, e1 := run(t, mk.mk, 6, 8)
+		_, e2 := run(t, mk.mk, 6, 8)
+		if e1 != e2 {
+			t.Errorf("%s: non-deterministic: %d vs %d", mk.name, e1, e2)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 2, 1: 2, 2: 2, 3: 4, 4: 4, 5: 8, 64: 64, 65: 128}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package fetchop
+
+import (
+	"repro/internal/machine"
+)
+
+// MPCentral is the centralized message-passing fetch-and-op of Section 3.6:
+// the variable lives in the private memory of a home node; a fetch-and-op
+// is a request message whose atomic handler applies the operation and sends
+// the old value back — the theoretical minimum of two messages.
+type MPCentral struct {
+	home  int
+	value uint64
+}
+
+// NewMPCentral creates the protocol with its variable on node home.
+func NewMPCentral(home int) *MPCentral {
+	return &MPCentral{home: home}
+}
+
+// Name implements FetchOp.
+func (f *MPCentral) Name() string { return "mp-central" }
+
+// Value returns the current value (for checkers; not a timed operation).
+func (f *MPCentral) Value() uint64 { return f.value }
+
+// FetchAdd implements FetchOp.
+func (f *MPCentral) FetchAdd(c machine.Context, delta uint64) uint64 {
+	type cell struct {
+		result uint64
+		done   bool
+	}
+	cl := &cell{}
+	requester := c.ProcID()
+	c.Send(f.home, func(h *machine.Handler) {
+		old := f.value
+		f.value += delta
+		h.Send(requester, func(*machine.Handler) {
+			cl.result = old
+			cl.done = true
+		})
+	})
+	for !cl.done {
+		c.Advance(6)
+	}
+	return cl.result
+}
+
+// MPCombTree is the message-passing combining tree of Section 3.6. Tree
+// node i runs on processor i mod P. A request message entering a node opens
+// a combining window; requests arriving within the window are combined and
+// a single message is relayed to the parent when the window closes. The
+// root's handler applies the combined operation to node-private state and
+// replies flow back down the tree, fanning out to the combined requesters.
+type MPCombTree struct {
+	m       *machine.Machine
+	nleaves int
+	window  machine.Time
+	value   uint64
+	state   []mpNodeState
+
+	// Combines counts requests satisfied by combining (stats).
+	Combines uint64
+}
+
+type mpNodeState struct {
+	pending    []mpPend
+	windowOpen bool
+}
+
+type mpPend struct {
+	value   uint64
+	deliver func(h *machine.Handler, base uint64)
+}
+
+// DefaultWindow is the message-combining window length in cycles.
+const DefaultWindow machine.Time = 48
+
+// NewMPCombTree builds a message-passing combining tree with nleaves leaves
+// (rounded to a power of two, minimum 2).
+func NewMPCombTree(m *machine.Machine, nleaves int, window machine.Time) *MPCombTree {
+	n := nextPow2(nleaves)
+	if window == 0 {
+		window = DefaultWindow
+	}
+	return &MPCombTree{
+		m:       m,
+		nleaves: n,
+		window:  window,
+		state:   make([]mpNodeState, n),
+	}
+}
+
+// Name implements FetchOp.
+func (t *MPCombTree) Name() string { return "mp-combining-tree" }
+
+// Value returns the current value (checker use only).
+func (t *MPCombTree) Value() uint64 { return t.value }
+
+// nodeProc maps tree node i to its hosting processor.
+func (t *MPCombTree) nodeProc(i int) int { return i % t.m.NumProcs() }
+
+func (t *MPCombTree) leafParent(proc int) int {
+	return (t.nleaves + proc%t.nleaves) / 2
+}
+
+// arrive processes a (possibly already combined) request at tree node i.
+// Runs inside an atomic handler on nodeProc(i).
+func (t *MPCombTree) arrive(h *machine.Handler, i int, p mpPend) {
+	if i == 1 {
+		// Root: apply and reply.
+		old := t.value
+		t.value += p.value
+		p.deliver(h, old)
+		return
+	}
+	st := &t.state[i]
+	st.pending = append(st.pending, p)
+	if st.windowOpen {
+		t.Combines++
+		return
+	}
+	st.windowOpen = true
+	h.After(t.window, t.nodeProc(i), func(h2 *machine.Handler) {
+		t.flush(h2, i)
+	})
+}
+
+// flush closes node i's combining window: combine pending requests into one
+// relayed message whose reply fans back out.
+func (t *MPCombTree) flush(h *machine.Handler, i int) {
+	st := &t.state[i]
+	batch := st.pending
+	st.pending = nil
+	st.windowOpen = false
+	if len(batch) == 0 {
+		return
+	}
+	var total uint64
+	offsets := make([]uint64, len(batch))
+	for j, b := range batch {
+		offsets[j] = total
+		total += b.value
+	}
+	parent := i / 2
+	combined := mpPend{
+		value: total,
+		deliver: func(h2 *machine.Handler, base uint64) {
+			for j, b := range batch {
+				b.deliver(h2, base+offsets[j])
+			}
+		},
+	}
+	h.Send(t.nodeProc(parent), func(h2 *machine.Handler) {
+		t.arrive(h2, parent, combined)
+	})
+}
+
+// FetchAdd implements FetchOp.
+func (t *MPCombTree) FetchAdd(c machine.Context, delta uint64) uint64 {
+	type cell struct {
+		result uint64
+		done   bool
+	}
+	cl := &cell{}
+	requester := c.ProcID()
+	entry := t.leafParent(requester)
+	c.Send(t.nodeProc(entry), func(h *machine.Handler) {
+		t.arrive(h, entry, mpPend{
+			value: delta,
+			deliver: func(h2 *machine.Handler, base uint64) {
+				h2.Send(requester, func(*machine.Handler) {
+					cl.result = base
+					cl.done = true
+				})
+			},
+		})
+	})
+	for !cl.done {
+		c.Advance(6)
+	}
+	return cl.result
+}

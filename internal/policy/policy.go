@@ -1,0 +1,150 @@
+// Package policy implements the protocol-switching policies of Section 3.4:
+// always-switch, the 3-competitive policy derived from the
+// Borodin-Linial-Saks task-system algorithm, hysteresis(x, y), and a
+// weighted-average (aging) policy.
+//
+// A reactive algorithm's detection machinery classifies each
+// synchronization request as served by an optimal or sub-optimal protocol
+// (with an estimated residual cost); the policy decides *when* to act on a
+// run of sub-optimal observations by actually changing protocols.
+package policy
+
+// Direction distinguishes which way a prospective protocol change goes
+// (e.g. 0 = cheap→scalable when contention appears, 1 = scalable→cheap when
+// contention disappears). Hysteresis policies use per-direction thresholds.
+type Direction int
+
+// Policy decides when a reactive algorithm should change protocols.
+// Implementations are not safe for concurrent use by real OS threads; in
+// the simulation all calls are serialized by the event engine, and in the
+// reactive algorithms all calls occur while holding the consensus object.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Suboptimal records one request served while the current protocol was
+	// sub-optimal; residual is the extra cost versus the better protocol.
+	// It returns true if the algorithm should switch protocols now.
+	Suboptimal(dir Direction, residual uint64) bool
+	// Optimal records one request served by the optimal protocol.
+	Optimal(dir Direction)
+	// Switched informs the policy that a protocol change was carried out.
+	Switched()
+}
+
+// AlwaysSwitch changes protocols immediately upon detecting that the
+// current protocol is sub-optimal — the default policy of the reactive
+// algorithms (Section 3.4). Best tracking, but can thrash if contention
+// oscillates faster than the cost of changing protocols.
+type AlwaysSwitch struct{}
+
+// Name implements Policy.
+func (AlwaysSwitch) Name() string { return "always" }
+
+// Suboptimal implements Policy.
+func (AlwaysSwitch) Suboptimal(Direction, uint64) bool { return true }
+
+// Optimal implements Policy.
+func (AlwaysSwitch) Optimal(Direction) {}
+
+// Switched implements Policy.
+func (AlwaysSwitch) Switched() {}
+
+// Competitive is the 3-competitive policy of Section 3.4.1: switch when the
+// cumulative residual cost of serving requests with the sub-optimal
+// protocol exceeds the round-trip cost of switching away and back
+// (dAB + dBA). Unlike hysteresis, the accumulator survives breaks in the
+// streak; it is only cleared by an actual protocol change.
+type Competitive struct {
+	// Threshold is dAB + dBA, the cost of switching to the other protocol
+	// and back, in cycles. The thesis's reactive spin lock uses 8800.
+	Threshold uint64
+
+	accum uint64
+}
+
+// NewCompetitive builds the policy with the given round-trip switch cost.
+func NewCompetitive(threshold uint64) *Competitive {
+	return &Competitive{Threshold: threshold}
+}
+
+// Name implements Policy.
+func (p *Competitive) Name() string { return "3-competitive" }
+
+// Suboptimal implements Policy.
+func (p *Competitive) Suboptimal(_ Direction, residual uint64) bool {
+	p.accum += residual
+	return p.accum >= p.Threshold
+}
+
+// Optimal implements Policy. The cumulative residual is retained across
+// breaks in the bad streak — the property distinguishing the competitive
+// policy from hysteresis.
+func (p *Competitive) Optimal(Direction) {}
+
+// Switched implements Policy.
+func (p *Competitive) Switched() { p.accum = 0 }
+
+// Hysteresis switches after a direction's streak of consecutive
+// sub-optimal requests reaches its threshold; any optimal request breaks
+// the streak. Hysteresis(x, y) in Figure 3.23's notation is
+// Thresholds[0] = x (cheap→scalable), Thresholds[1] = y (scalable→cheap).
+type Hysteresis struct {
+	Thresholds [2]uint64
+
+	streak [2]uint64
+}
+
+// NewHysteresis builds Hysteresis(x, y).
+func NewHysteresis(x, y uint64) *Hysteresis {
+	return &Hysteresis{Thresholds: [2]uint64{x, y}}
+}
+
+// Name implements Policy.
+func (p *Hysteresis) Name() string { return "hysteresis" }
+
+// Suboptimal implements Policy.
+func (p *Hysteresis) Suboptimal(dir Direction, _ uint64) bool {
+	d := int(dir) & 1
+	p.streak[d]++
+	p.streak[1-d] = 0
+	return p.streak[d] >= p.Thresholds[d]
+}
+
+// Optimal implements Policy.
+func (p *Hysteresis) Optimal(Direction) { p.streak[0], p.streak[1] = 0, 0 }
+
+// Switched implements Policy.
+func (p *Hysteresis) Switched() { p.streak[0], p.streak[1] = 0, 0 }
+
+// WeightedAverage ages an exponentially weighted moving average of the
+// sub-optimality indicator (1 for sub-optimal, 0 for optimal) and switches
+// when the average crosses Cross. Weight is the new-sample weight in
+// 1/256ths (e.g. 64 = 0.25).
+type WeightedAverage struct {
+	Weight uint64 // new-sample weight, in 1/256ths
+	Cross  uint64 // switch threshold, in 1/256ths
+
+	avg uint64 // current average, in 1/256ths
+}
+
+// NewWeightedAverage builds an aging policy. Typical: weight 64, cross 192.
+func NewWeightedAverage(weight, cross uint64) *WeightedAverage {
+	return &WeightedAverage{Weight: weight, Cross: cross}
+}
+
+// Name implements Policy.
+func (p *WeightedAverage) Name() string { return "weighted-average" }
+
+// Suboptimal implements Policy.
+func (p *WeightedAverage) Suboptimal(Direction, uint64) bool {
+	p.avg = (p.avg*(256-p.Weight) + 256*p.Weight) / 256
+	return p.avg >= p.Cross
+}
+
+// Optimal implements Policy.
+func (p *WeightedAverage) Optimal(Direction) {
+	p.avg = p.avg * (256 - p.Weight) / 256
+}
+
+// Switched implements Policy.
+func (p *WeightedAverage) Switched() { p.avg = 0 }

@@ -1,0 +1,125 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlwaysSwitch(t *testing.T) {
+	p := AlwaysSwitch{}
+	if !p.Suboptimal(0, 1) {
+		t.Fatal("always-switch must switch on first sub-optimal request")
+	}
+}
+
+func TestCompetitiveAccumulates(t *testing.T) {
+	p := NewCompetitive(1000)
+	for i := 0; i < 9; i++ {
+		if p.Suboptimal(0, 100) {
+			t.Fatalf("switched after %d of 10 needed", i+1)
+		}
+	}
+	if !p.Suboptimal(0, 100) {
+		t.Fatal("must switch once cumulative residual reaches threshold")
+	}
+	p.Switched()
+	if p.Suboptimal(0, 100) {
+		t.Fatal("accumulator not cleared by Switched")
+	}
+}
+
+func TestCompetitiveSurvivesStreakBreaks(t *testing.T) {
+	// The defining property vs hysteresis: optimal requests do not clear
+	// the accumulator.
+	p := NewCompetitive(300)
+	p.Suboptimal(0, 100)
+	p.Suboptimal(0, 100)
+	p.Optimal(0)
+	p.Optimal(0)
+	if !p.Suboptimal(0, 100) {
+		t.Fatal("competitive policy must accumulate across streak breaks")
+	}
+}
+
+func TestHysteresisStreaks(t *testing.T) {
+	p := NewHysteresis(3, 5)
+	p.Suboptimal(0, 1)
+	p.Suboptimal(0, 1)
+	p.Optimal(0) // break the streak
+	p.Suboptimal(0, 1)
+	if p.Suboptimal(0, 1) {
+		t.Fatal("streak should have been reset by optimal request")
+	}
+	if !p.Suboptimal(0, 1) {
+		t.Fatal("3 consecutive sub-optimal requests must switch dir 0")
+	}
+	p.Switched()
+	for i := 0; i < 4; i++ {
+		if p.Suboptimal(1, 1) {
+			t.Fatalf("dir 1 switched after %d < 5", i+1)
+		}
+	}
+	if !p.Suboptimal(1, 1) {
+		t.Fatal("5 consecutive must switch dir 1")
+	}
+}
+
+func TestHysteresisDirectionsIndependent(t *testing.T) {
+	p := NewHysteresis(2, 2)
+	p.Suboptimal(0, 1)
+	// A sub-optimal in the other direction resets direction 0's streak.
+	p.Suboptimal(1, 1)
+	if p.Suboptimal(0, 1) {
+		t.Fatal("direction streaks must reset each other")
+	}
+}
+
+func TestWeightedAverageConverges(t *testing.T) {
+	p := NewWeightedAverage(64, 192)
+	switched := false
+	for i := 0; i < 50 && !switched; i++ {
+		switched = p.Suboptimal(0, 1)
+	}
+	if !switched {
+		t.Fatal("all-sub-optimal stream must eventually cross threshold")
+	}
+	p.Switched()
+	// A mixed stream biased toward optimal should not switch.
+	for i := 0; i < 200; i++ {
+		p.Optimal(0)
+		p.Optimal(0)
+		p.Optimal(0)
+		if p.Suboptimal(0, 1) {
+			t.Fatal("25% sub-optimal stream should not cross 75% threshold")
+		}
+	}
+}
+
+func TestCompetitiveWithinBLSBound(t *testing.T) {
+	// Property: for any request sequence, total residual paid by the
+	// competitive policy between two switches is < threshold + max single
+	// residual, so per-cycle cost is bounded — the building block of the
+	// 3-competitive argument.
+	f := func(residuals []uint16) bool {
+		const threshold = 5000
+		p := NewCompetitive(threshold)
+		var sinceSwitch uint64
+		for _, r := range residuals {
+			res := uint64(r%300) + 1
+			sinceSwitch += res
+			if p.Suboptimal(0, res) {
+				if sinceSwitch < threshold {
+					return false // switched too early
+				}
+				p.Switched()
+				sinceSwitch = 0
+			} else if sinceSwitch >= threshold {
+				return false // failed to switch in time
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,351 @@
+// Package sim provides a deterministic, cycle-accurate discrete-event
+// simulation engine. Simulated activities (processors, threads, message
+// handlers) run as coroutine actors: exactly one actor executes at any
+// instant, and actors hand control back to the engine whenever simulated
+// time must pass. Events with equal timestamps fire in schedule order, so a
+// run is fully deterministic given the same seed and spawn order.
+//
+// The engine is the substrate for the Alewife-like multiprocessor model in
+// internal/machine; nothing in this package knows about processors or memory.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is simulated time in processor clock cycles.
+type Time = uint64
+
+// Engine is a deterministic discrete-event simulator. Create one with New,
+// add actors with Spawn, then call Run.
+type Engine struct {
+	now  Time
+	seq  uint64
+	pq   eventHeap
+	ctl  chan ctlMsg
+	live int // actors spawned and not yet finished
+	seed uint64
+
+	running bool
+	stopped bool
+	limit   Time // 0 = no limit
+
+	// parked actors (blocked with no scheduled event), for deadlock reports.
+	parked map[*Actor]struct{}
+
+	nextActorID uint64
+}
+
+type ctlMsg struct {
+	finished *Actor // non-nil if the yielding actor has terminated
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	a   *Actor
+}
+
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It
+// avoids container/heap's interface{} boxing, which would allocate on
+// every scheduled event — the simulator's hottest path.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// New returns an engine whose actor RNGs derive from seed.
+func New(seed uint64) *Engine {
+	return &Engine{
+		ctl:    make(chan ctlMsg),
+		seed:   seed,
+		parked: make(map[*Actor]struct{}),
+	}
+}
+
+// Now returns the current simulated time in cycles.
+func (e *Engine) Now() Time { return e.now }
+
+// SetLimit makes Run fail with a LimitError once simulated time exceeds
+// limit — a guard against livelock in simulated systems (e.g. pure
+// spin-waiting that starves a never-scheduled producer).
+func (e *Engine) SetLimit(limit Time) { e.limit = limit }
+
+// Spawn creates a new actor that will begin executing f at time start
+// (which must be >= Now). Spawn may be called before Run or from a running
+// actor. The returned Actor must only be manipulated by running actors or
+// before Run starts.
+func (e *Engine) Spawn(name string, start Time, f func(*Actor)) *Actor {
+	if start < e.now {
+		start = e.now
+	}
+	e.nextActorID++
+	a := &Actor{
+		e:      e,
+		id:     e.nextActorID,
+		name:   name,
+		resume: make(chan struct{}),
+		rng:    NewRand(mix(e.seed, e.nextActorID)),
+	}
+	e.live++
+	go func() {
+		<-a.resume // wait for first dispatch
+		if !a.terminate {
+			runBody(a, f)
+		}
+		a.finished = true
+		e.ctl <- ctlMsg{finished: a}
+	}()
+	e.schedule(start, a)
+	return a
+}
+
+func (e *Engine) schedule(at Time, a *Actor) {
+	e.seq++
+	e.pq.push(event{at: at, seq: e.seq, a: a})
+	a.scheduled = true
+}
+
+// Run executes events until no runnable work remains or Stop is called.
+// It returns an error if actors remain parked with no pending events
+// (a deadlock in the simulated system).
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 && !e.stopped {
+		ev := e.pq.pop()
+		if ev.a.finished {
+			continue
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		if e.limit > 0 && e.now > e.limit {
+			e.pq = append(e.pq, event{at: ev.at, seq: ev.seq, a: ev.a})
+			e.drain()
+			return &LimitError{Limit: e.limit}
+		}
+		ev.a.scheduled = false
+		ev.a.resume <- struct{}{}
+		msg := <-e.ctl
+		if msg.finished != nil {
+			e.live--
+		}
+	}
+	if e.stopped {
+		e.drain()
+		return nil
+	}
+	if len(e.parked) > 0 {
+		names := make([]string, 0, len(e.parked))
+		for a := range e.parked {
+			names = append(names, a.name)
+		}
+		sort.Strings(names)
+		e.drain()
+		return &DeadlockError{Time: e.now, Parked: names}
+	}
+	return nil
+}
+
+// Stop halts the simulation after the currently executing actor yields.
+// Call from within an actor to end a run early (e.g. measurement complete).
+func (e *Engine) Stop() { e.stopped = true }
+
+// drain unblocks leftover goroutines so they do not leak. Leftover actors
+// are resumed with their terminate flag set; Actor yield points panic with
+// errTerminated which the actor wrapper converts into a clean exit.
+func (e *Engine) drain() {
+	pending := make(map[*Actor]struct{})
+	for _, ev := range e.pq {
+		if !ev.a.finished {
+			pending[ev.a] = struct{}{}
+		}
+	}
+	e.pq = nil
+	for a := range e.parked {
+		pending[a] = struct{}{}
+	}
+	e.parked = make(map[*Actor]struct{})
+	for a := range pending {
+		a.terminate = true
+		a.resume <- struct{}{}
+		<-e.ctl
+		e.live--
+	}
+}
+
+// LimitError reports that the simulation exceeded its cycle limit.
+type LimitError struct {
+	Limit Time
+}
+
+func (l *LimitError) Error() string {
+	return fmt.Sprintf("sim: exceeded cycle limit %d (livelock?)", l.Limit)
+}
+
+// DeadlockError reports a simulated deadlock: parked actors with no events.
+type DeadlockError struct {
+	Time   Time
+	Parked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at cycle %d; parked actors: %v", d.Time, d.Parked)
+}
+
+// Actor is a coroutine participating in the simulation. All methods must be
+// called only from the actor's own goroutine while it holds control, except
+// Wake, which is called by whichever actor is currently running.
+type Actor struct {
+	e         *Engine
+	id        uint64
+	name      string
+	resume    chan struct{}
+	rng       *Rand
+	scheduled bool
+	parkedFl  bool
+	finished  bool
+	terminate bool
+}
+
+// errTerminated unwinds an actor goroutine during Engine.drain.
+type termSignal struct{}
+
+// Name returns the actor's diagnostic name.
+func (a *Actor) Name() string { return a.name }
+
+// ID returns the actor's unique id (1-based, in spawn order).
+func (a *Actor) ID() uint64 { return a.id }
+
+// Engine returns the owning engine.
+func (a *Actor) Engine() *Engine { return a.e }
+
+// Now returns current simulated time.
+func (a *Actor) Now() Time { return a.e.now }
+
+// Rand returns the actor's deterministic random source.
+func (a *Actor) Rand() *Rand { return a.rng }
+
+// yield hands control to the engine and blocks until redispatched.
+func (a *Actor) yield() {
+	a.e.ctl <- ctlMsg{}
+	<-a.resume
+	if a.terminate {
+		panic(termSignal{})
+	}
+}
+
+// Advance consumes d cycles of simulated time.
+func (a *Actor) Advance(d Time) {
+	a.AdvanceTo(a.e.now + d)
+}
+
+// AdvanceTo consumes simulated time until cycle t (no-op if t <= Now).
+func (a *Actor) AdvanceTo(t Time) {
+	if t <= a.e.now {
+		return
+	}
+	a.e.schedule(t, a)
+	a.yield()
+}
+
+// Park blocks the actor indefinitely until another actor calls Wake.
+func (a *Actor) Park() {
+	a.parkedFl = true
+	a.e.parked[a] = struct{}{}
+	a.yield()
+}
+
+// Parked reports whether the actor is currently parked.
+func (a *Actor) Parked() bool { return a.parkedFl }
+
+// Wake schedules parked actor b to resume at time at (>= Now). It panics if
+// b is not parked: the layers above (thread scheduler, message system)
+// guarantee wakers only target parked actors.
+func (a *Actor) Wake(b *Actor, at Time) {
+	a.e.wake(b, at)
+}
+
+func (e *Engine) wake(b *Actor, at Time) {
+	if !b.parkedFl {
+		panic(fmt.Sprintf("sim: Wake(%s): actor not parked", b.name))
+	}
+	if at < e.now {
+		at = e.now
+	}
+	delete(e.parked, b)
+	b.parkedFl = false
+	e.schedule(at, b)
+}
+
+// WakeAt is like Wake but usable before Run begins (no running actor).
+func (e *Engine) WakeAt(b *Actor, at Time) { e.wake(b, at) }
+
+// RunActor is a convenience: the actor body recovers termSignal panics so
+// drained actors exit cleanly. Engine.Spawn installs this automatically via
+// the wrapper below.
+func runBody(a *Actor, f func(*Actor)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(termSignal); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	f(a)
+}
+
+func mix(seed, id uint64) uint64 {
+	z := seed + id*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdvanceOrdering(t *testing.T) {
+	e := New(1)
+	var order []string
+	e.Spawn("a", 0, func(a *Actor) {
+		a.Advance(10)
+		order = append(order, "a@10")
+		a.Advance(20)
+		order = append(order, "a@30")
+	})
+	e.Spawn("b", 0, func(a *Actor) {
+		a.Advance(15)
+		order = append(order, "b@15")
+		a.Advance(5)
+		order = append(order, "b@20")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a@10", "b@15", "b@20", "a@30"}
+	if len(order) != len(want) {
+		t.Fatalf("got %v want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time = %d, want 30", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Spawn("x", 5, func(a *Actor) {
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of spawn order: %v", order)
+		}
+	}
+}
+
+func TestParkWake(t *testing.T) {
+	e := New(1)
+	var woken Time
+	var sleeper *Actor
+	sleeper = e.Spawn("sleeper", 0, func(a *Actor) {
+		a.Park()
+		woken = a.Now()
+	})
+	e.Spawn("waker", 0, func(a *Actor) {
+		a.Advance(100)
+		a.Wake(sleeper, a.Now()+7)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 107 {
+		t.Fatalf("woken at %d, want 107", woken)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := New(1)
+	e.Spawn("stuck", 0, func(a *Actor) {
+		a.Park()
+	})
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(de.Parked) != 1 || de.Parked[0] != "stuck" {
+		t.Fatalf("parked = %v", de.Parked)
+	}
+}
+
+func TestStopDrainsActors(t *testing.T) {
+	e := New(1)
+	finished := false
+	e.Spawn("looper", 0, func(a *Actor) {
+		for {
+			a.Advance(10)
+		}
+	})
+	e.Spawn("parker", 0, func(a *Actor) {
+		a.Park()
+		finished = true // must not run: drained, not woken
+	})
+	e.Spawn("stopper", 0, func(a *Actor) {
+		a.Advance(55)
+		a.Engine().Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished {
+		t.Fatal("drained actor resumed its body")
+	}
+	if e.live != 0 {
+		t.Fatalf("live actors remain: %d", e.live)
+	}
+}
+
+func TestSpawnFromActor(t *testing.T) {
+	e := New(1)
+	var childTime Time
+	e.Spawn("parent", 0, func(a *Actor) {
+		a.Advance(42)
+		a.Engine().Spawn("child", a.Now()+8, func(c *Actor) {
+			childTime = c.Now()
+		})
+		a.Advance(100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 50 {
+		t.Fatalf("child started at %d, want 50", childTime)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := New(99)
+		var trace []Time
+		for i := 0; i < 8; i++ {
+			e.Spawn("p", 0, func(a *Actor) {
+				for j := 0; j < 50; j++ {
+					a.Advance(Time(a.Rand().Intn(20) + 1))
+					trace = append(trace, a.Now())
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	t1, t2 := run(), run()
+	if len(t1) != len(t2) {
+		t.Fatal("non-deterministic trace length")
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestRandUniformity(t *testing.T) {
+	r := NewRand(7)
+	const n = 100000
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, b := range buckets {
+		if b < n/10-n/50 || b > n/10+n/50 {
+			t.Fatalf("bucket %d count %d far from %d", i, b, n/10)
+		}
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRand(3)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if mean < 0.98 || mean > 1.02 {
+		t.Fatalf("exponential mean = %f, want ~1", mean)
+	}
+}
+
+func TestAdvanceZero(t *testing.T) {
+	e := New(1)
+	e.Spawn("z", 0, func(a *Actor) {
+		before := a.Now()
+		a.Advance(0)
+		if a.Now() != before {
+			t.Errorf("Advance(0) moved time")
+		}
+		a.AdvanceTo(0)
+		if a.Now() != before {
+			t.Errorf("AdvanceTo(past) moved time")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWakeNotParkedPanics(t *testing.T) {
+	e := New(1)
+	var b *Actor
+	b = e.Spawn("b", 1000, func(a *Actor) {})
+	e.Spawn("a", 0, func(a *Actor) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Wake on non-parked actor did not panic")
+			}
+		}()
+		a.Wake(b, 5)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

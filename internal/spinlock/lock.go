@@ -1,0 +1,33 @@
+// Package spinlock implements the passive mutual-exclusion protocols the
+// thesis evaluates (Section 3.1.1): test-and-set with randomized exponential
+// backoff, test-and-test-and-set with backoff, the MCS queue lock, and a
+// message-passing queue lock. Each runs unmodified on the simulated
+// multiprocessor via machine.Context.
+//
+// These are the building blocks the reactive spin lock (internal/core)
+// selects among; the passive versions here are also the baselines for
+// Figures 3.2, 3.15, 3.16 and 3.26.
+package spinlock
+
+import (
+	"repro/internal/machine"
+)
+
+// Lock is a mutual-exclusion lock usable from simulated contexts. Acquire
+// returns an opaque handle that must be passed to the matching Release
+// (queue-based protocols thread their queue node through it).
+type Lock interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// Acquire blocks (spinning) until the lock is held.
+	Acquire(c machine.Context) Handle
+	// Release frees the lock.
+	Release(c machine.Context, h Handle)
+}
+
+// Handle is protocol-private per-acquisition state.
+type Handle interface{}
+
+// instr charges c for a small block of local instructions (branches, moves)
+// that the protocol executes besides its memory operations.
+func instr(c machine.Context, n machine.Time) { c.Advance(n) }

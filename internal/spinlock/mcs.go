@@ -1,0 +1,107 @@
+package spinlock
+
+import (
+	"repro/internal/machine"
+	"repro/internal/memsys"
+)
+
+// Queue-node status values. The zero value is "waiting" so fresh simulated
+// memory starts in the correct state.
+const (
+	qWaiting uint64 = 0
+	qGo      uint64 = 1
+)
+
+// QNode is an MCS queue node in simulated memory: word 0 is the next
+// pointer (an Addr, 0 = nil), word 1 the status flag a waiter spins on.
+// Each processor's node lives in its local memory so waiting is local
+// spinning — the property that makes queue locks scale.
+type QNode struct {
+	Base memsys.Addr
+}
+
+// Next returns the address of the node's next-pointer word.
+func (q QNode) Next() memsys.Addr { return q.Base }
+
+// Status returns the address of the node's status word.
+func (q QNode) Status() memsys.Addr { return q.Base + 1 }
+
+// NewQNode allocates a queue node in proc's local memory.
+func NewQNode(mem *memsys.System, proc int) QNode {
+	return QNode{Base: mem.Alloc(proc, 2)}
+}
+
+// MCSLock is the Mellor-Crummey–Scott list-based queue lock (Figure 3.1),
+// using the fetch&store-only release path (Alewife has no compare&swap;
+// the thesis uses this version, whose low-contention race Section 3.5.3
+// discusses).
+type MCSLock struct {
+	tail  memsys.Addr
+	nodes []QNode
+	mem   *memsys.System
+}
+
+// NewMCS allocates an MCS lock whose tail pointer is homed on node home.
+func NewMCS(mem *memsys.System, home int) *MCSLock {
+	return &MCSLock{
+		tail:  mem.Alloc(home, 1),
+		nodes: make([]QNode, mem.Config().NumNodes),
+		mem:   mem,
+	}
+}
+
+// Name implements Lock.
+func (l *MCSLock) Name() string { return "mcs-queue" }
+
+// node returns proc's per-lock queue node, allocating it on first use.
+func (l *MCSLock) node(proc int) QNode {
+	if l.nodes[proc].Base == 0 {
+		l.nodes[proc] = NewQNode(l.mem, proc)
+	}
+	return l.nodes[proc]
+}
+
+// Acquire implements Lock.
+func (l *MCSLock) Acquire(c machine.Context) Handle {
+	instr(c, 6) // queue-node setup bookkeeping
+	i := l.node(c.ProcID())
+	c.Write(i.Next(), 0)
+	c.Write(i.Status(), qWaiting)
+	pred := c.FetchAndStore(l.tail, uint64(i.Base))
+	if pred != 0 {
+		// Link behind predecessor and spin locally.
+		c.Write(QNode{Base: memsys.Addr(pred)}.Next(), uint64(i.Base))
+		for c.Read(i.Status()) != qGo {
+			instr(c, 2)
+		}
+	}
+	return i
+}
+
+// Release implements Lock.
+func (l *MCSLock) Release(c machine.Context, h Handle) {
+	instr(c, 4) // successor-check bookkeeping
+	i := h.(QNode)
+	next := c.Read(i.Next())
+	if next == 0 {
+		// No known successor: try to detach the queue.
+		oldTail := c.FetchAndStore(l.tail, 0)
+		if oldTail == uint64(i.Base) {
+			return // really had no successor
+		}
+		// Someone was enqueueing. Restore the tail; whoever swapped in
+		// while the tail was nil (the "usurper") now holds the lock.
+		usurper := c.FetchAndStore(l.tail, oldTail)
+		for next = c.Read(i.Next()); next == 0; next = c.Read(i.Next()) {
+			instr(c, 2)
+		}
+		if usurper != 0 {
+			// Splice our detached waiters behind the usurper.
+			c.Write(QNode{Base: memsys.Addr(usurper)}.Next(), next)
+		} else {
+			c.Write(QNode{Base: memsys.Addr(next)}.Status(), qGo)
+		}
+		return
+	}
+	c.Write(QNode{Base: memsys.Addr(next)}.Status(), qGo)
+}

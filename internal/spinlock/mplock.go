@@ -1,0 +1,67 @@
+package spinlock
+
+import (
+	"repro/internal/machine"
+)
+
+// MPQueueLock is the message-passing queue lock of Section 3.6: a
+// designated manager node keeps the lock state and a FIFO queue of
+// requesters in its private memory, manipulated only by atomic message
+// handlers. Requesters send a REQUEST message and poll the network
+// interface for the GRANT; releasing sends a RELEASE message.
+type MPQueueLock struct {
+	manager int
+	busy    bool
+	queue   []*grantCell // waiting requesters, FIFO
+}
+
+type grantCell struct {
+	proc    int
+	granted bool
+}
+
+// NewMPQueue creates a message-passing queue lock managed by node manager.
+func NewMPQueue(manager int) *MPQueueLock {
+	return &MPQueueLock{manager: manager}
+}
+
+// Name implements Lock.
+func (l *MPQueueLock) Name() string { return "mp-queue" }
+
+// grant delivers the lock to cell's owner.
+func (l *MPQueueLock) grant(h *machine.Handler, cell *grantCell) {
+	h.Send(cell.proc, func(*machine.Handler) {
+		cell.granted = true
+	})
+}
+
+// Acquire implements Lock.
+func (l *MPQueueLock) Acquire(c machine.Context) Handle {
+	cell := &grantCell{proc: c.ProcID()}
+	c.Send(l.manager, func(h *machine.Handler) {
+		if !l.busy {
+			l.busy = true
+			l.grant(h, cell)
+			return
+		}
+		l.queue = append(l.queue, cell)
+	})
+	// Poll the network interface for the grant.
+	for !cell.granted {
+		c.Advance(6)
+	}
+	return cell
+}
+
+// Release implements Lock.
+func (l *MPQueueLock) Release(c machine.Context, _ Handle) {
+	c.Send(l.manager, func(h *machine.Handler) {
+		if len(l.queue) == 0 {
+			l.busy = false
+			return
+		}
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		l.grant(h, next)
+	})
+}

@@ -1,0 +1,215 @@
+package spinlock
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// exercise runs procs processors each performing iters lock/unlock pairs
+// around a critical section that checks mutual exclusion, and returns the
+// total number of completed critical sections plus the final cycle count.
+func exercise(t *testing.T, mk func(m *machine.Machine) Lock, procs, iters int) (int, machine.Time) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(procs))
+	l := mk(m)
+	inCS := false
+	count := 0
+	var end machine.Time
+	for p := 0; p < procs; p++ {
+		m.SpawnCPU(p, 0, "worker", func(c *machine.CPU) {
+			for i := 0; i < iters; i++ {
+				h := l.Acquire(c)
+				if inCS {
+					t.Errorf("%s: mutual exclusion violated", l.Name())
+				}
+				inCS = true
+				c.Advance(100) // critical section
+				inCS = false
+				l.Release(c, h)
+				c.Advance(machine.Time(c.Rand().Intn(500))) // think time
+			}
+			count += iters
+			if c.Now() > end {
+				end = c.Now()
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("%s: %v", l.Name(), err)
+	}
+	return count, end
+}
+
+func makers() map[string]func(m *machine.Machine) Lock {
+	return map[string]func(m *machine.Machine) Lock{
+		"tas": func(m *machine.Machine) Lock { return NewTAS(m.Mem, 0, DefaultBackoff) },
+		"tts": func(m *machine.Machine) Lock { return NewTTS(m.Mem, 0, DefaultBackoff) },
+		"mcs": func(m *machine.Machine) Lock { return NewMCS(m.Mem, 0) },
+		"mp":  func(m *machine.Machine) Lock { return NewMPQueue(0) },
+	}
+}
+
+func TestMutualExclusionAllProtocols(t *testing.T) {
+	for name, mk := range makers() {
+		for _, procs := range []int{1, 2, 7, 16} {
+			name, mk, procs := name, mk, procs
+			t.Run(name, func(t *testing.T) {
+				n, _ := exercise(t, mk, procs, 12)
+				if n != procs*12 {
+					t.Fatalf("completed %d of %d critical sections", n, procs*12)
+				}
+			})
+		}
+	}
+}
+
+func TestSingleProcessorLatencyOrdering(t *testing.T) {
+	// With no contention the queue lock must cost roughly twice the
+	// test-and-set style locks (Figure 1.1), and the message-passing lock
+	// must be the most expensive of all on this machine (Section 3.6).
+	lat := func(mk func(m *machine.Machine) Lock) machine.Time {
+		m := machine.New(machine.DefaultConfig(2))
+		l := mk(m)
+		var total machine.Time
+		m.SpawnCPU(0, 0, "solo", func(c *machine.CPU) {
+			// Warm caches.
+			h := l.Acquire(c)
+			l.Release(c, h)
+			start := c.Now()
+			for i := 0; i < 100; i++ {
+				h := l.Acquire(c)
+				l.Release(c, h)
+			}
+			total = (c.Now() - start) / 100
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	mk := makers()
+	tts := lat(mk["tts"])
+	mcs := lat(mk["mcs"])
+	mp := lat(mk["mp"])
+	if !(tts < mcs) {
+		t.Errorf("uncontended: tts (%d) should beat mcs (%d)", tts, mcs)
+	}
+	if float64(mcs) < 1.5*float64(tts) {
+		t.Errorf("mcs (%d) should be ~2x tts (%d) uncontended", mcs, tts)
+	}
+	if !(mcs < mp) {
+		t.Errorf("mcs (%d) should beat mp-queue (%d) on this machine", mcs, mp)
+	}
+}
+
+func TestMCSFairnessFIFO(t *testing.T) {
+	// Once all waiters are queued, the MCS lock grants in FIFO order.
+	m := machine.New(machine.DefaultConfig(8))
+	l := NewMCS(m.Mem, 0)
+	var order []int
+	// Holder acquires first, everyone queues in staggered order, holder
+	// releases; grants must follow queue order.
+	m.SpawnCPU(0, 0, "holder", func(c *machine.CPU) {
+		h := l.Acquire(c)
+		c.Advance(50000) // long enough for all waiters to enqueue
+		l.Release(c, h)
+	})
+	for p := 1; p < 8; p++ {
+		p := p
+		m.SpawnCPU(p, machine.Time(p)*1000, "waiter", func(c *machine.CPU) {
+			h := l.Acquire(c)
+			order = append(order, p)
+			c.Advance(10)
+			l.Release(c, h)
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range order {
+		if p != i+1 {
+			t.Fatalf("MCS grant order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestMCSUsurperRace(t *testing.T) {
+	// Two processors trading a lock with tiny critical sections exercises
+	// the no-compare&swap release race (Section 3.5.3). Must stay correct.
+	n, _ := exercise(t, func(m *machine.Machine) Lock { return NewMCS(m.Mem, 0) }, 2, 300)
+	if n != 600 {
+		t.Fatalf("completed %d", n)
+	}
+}
+
+func TestContentionScalingShape(t *testing.T) {
+	// Figure 3.15 shape: at 16+ processors the MCS lock's per-CS overhead
+	// must beat the TAS lock's.
+	perCS := func(mk func(m *machine.Machine) Lock, procs int) machine.Time {
+		m := machine.New(machine.DefaultConfig(procs))
+		l := mk(m)
+		iters := 40
+		var end machine.Time
+		for p := 0; p < procs; p++ {
+			m.SpawnCPU(p, 0, "w", func(c *machine.CPU) {
+				for i := 0; i < iters; i++ {
+					h := l.Acquire(c)
+					c.Advance(100)
+					l.Release(c, h)
+					c.Advance(machine.Time(c.Rand().Intn(500)))
+				}
+				if c.Now() > end {
+					end = c.Now()
+				}
+			})
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end / machine.Time(procs*iters)
+	}
+	mk := makers()
+	tas16 := perCS(mk["tas"], 16)
+	mcs16 := perCS(mk["mcs"], 16)
+	if mcs16 >= tas16 {
+		t.Errorf("at 16 procs MCS (%d/CS) should beat TAS (%d/CS)", mcs16, tas16)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	for name, mk := range makers() {
+		_, e1 := exercise(t, mk, 5, 10)
+		_, e2 := exercise(t, mk, 5, 10)
+		if e1 != e2 {
+			t.Errorf("%s: non-deterministic end time %d vs %d", name, e1, e2)
+		}
+	}
+}
+
+func TestMPQueueFIFO(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(6))
+	l := NewMPQueue(0)
+	var order []int
+	m.SpawnCPU(1, 0, "holder", func(c *machine.CPU) {
+		h := l.Acquire(c)
+		c.Advance(30000)
+		l.Release(c, h)
+	})
+	for p := 2; p < 6; p++ {
+		p := p
+		m.SpawnCPU(p, machine.Time(p)*1500, "waiter", func(c *machine.CPU) {
+			h := l.Acquire(c)
+			order = append(order, p)
+			l.Release(c, h)
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range order {
+		if p != i+2 {
+			t.Fatalf("MP queue lock not FIFO: %v", order)
+		}
+	}
+}

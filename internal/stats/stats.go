@@ -1,0 +1,176 @@
+// Package stats provides the measurement utilities used by the experiment
+// harness: waiting-time histograms (linear and logarithmic, for the
+// waiting-time profiles of Figures 4.6-4.11), summary statistics, and small
+// table-formatting helpers for experiment output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates observations.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range s.xs {
+		t += x
+	}
+	return t / float64(len(s.xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by the
+// nearest-rank method.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	xs := append([]float64(nil), s.xs...)
+	sort.Float64s(xs)
+	rank := int(math.Ceil(p/100*float64(len(xs)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(xs) {
+		rank = len(xs) - 1
+	}
+	return xs[rank]
+}
+
+// Max returns the maximum observation.
+func (s *Sample) Max() float64 {
+	m := 0.0
+	for _, x := range s.xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	mu := s.Mean()
+	v := 0.0
+	for _, x := range s.xs {
+		v += (x - mu) * (x - mu)
+	}
+	return math.Sqrt(v / float64(n-1))
+}
+
+// WaitProfile is a waiting-time histogram implementing waiting.Profiler.
+// Buckets are logarithmic base 2 starting at 1 cycle, matching the semi-log
+// presentation of the thesis's waiting-time figures.
+type WaitProfile struct {
+	Name    string
+	Buckets [40]uint64
+	Sample  Sample
+}
+
+// Observe implements waiting.Profiler.
+func (w *WaitProfile) Observe(wait uint64) {
+	b := 0
+	for v := wait; v > 1 && b < len(w.Buckets)-1; v >>= 1 {
+		b++
+	}
+	w.Buckets[b]++
+	w.Sample.Add(float64(wait))
+}
+
+// FracBelow returns the fraction of waits strictly below t cycles.
+func (w *WaitProfile) FracBelow(t float64) float64 {
+	if w.Sample.N() == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range w.Sample.xs {
+		if x < t {
+			n++
+		}
+	}
+	return float64(n) / float64(w.Sample.N())
+}
+
+// String renders the histogram as an ASCII semi-log plot.
+func (w *WaitProfile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d mean=%.0f p50=%.0f p90=%.0f max=%.0f\n",
+		w.Name, w.Sample.N(), w.Sample.Mean(), w.Sample.Percentile(50),
+		w.Sample.Percentile(90), w.Sample.Max())
+	var peak uint64
+	hi := 0
+	for i, c := range w.Buckets {
+		if c > peak {
+			peak = c
+		}
+		if c > 0 {
+			hi = i
+		}
+	}
+	if peak == 0 {
+		return b.String()
+	}
+	for i := 0; i <= hi; i++ {
+		bar := int(w.Buckets[i] * 50 / peak)
+		fmt.Fprintf(&b, "  [%8d cyc) %6d %s\n", uint64(1)<<uint(i), w.Buckets[i], strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Table formats rows of experiment output with aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	all := append([][]string{t.Header}, t.Rows...)
+	width := make([]int, 0)
+	for _, r := range all {
+		for i, c := range r {
+			if i >= len(width) {
+				width = append(width, 0)
+			}
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range all {
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s  ", width[i], c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i := range t.Header {
+				b.WriteString(strings.Repeat("-", width[i]) + "  ")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

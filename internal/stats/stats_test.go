@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("mean %f", s.Mean())
+	}
+	if s.Percentile(50) != 3 {
+		t.Fatalf("p50 %f", s.Percentile(50))
+	}
+	if s.Max() != 5 {
+		t.Fatalf("max %f", s.Max())
+	}
+	if s.N() != 5 {
+		t.Fatalf("n %d", s.N())
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var s Sample
+		for _, r := range raw {
+			s.Add(float64(r))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		last := 0.0
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return s.Percentile(100) == s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitProfileBuckets(t *testing.T) {
+	w := &WaitProfile{Name: "test"}
+	w.Observe(1)    // bucket 0
+	w.Observe(2)    // bucket 1
+	w.Observe(3)    // bucket 1
+	w.Observe(1024) // bucket 10
+	if w.Buckets[0] != 1 || w.Buckets[1] != 2 || w.Buckets[10] != 1 {
+		t.Fatalf("buckets %v", w.Buckets[:12])
+	}
+	if w.FracBelow(4) != 0.75 {
+		t.Fatalf("FracBelow(4) = %f", w.FracBelow(4))
+	}
+	if !strings.Contains(w.String(), "n=4") {
+		t.Fatal("String() missing summary")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"proto", "cycles"}}
+	tb.AddRow("tts", "123")
+	tb.AddRow("mcs-queue", "45678")
+	out := tb.String()
+	if !strings.Contains(out, "mcs-queue") || !strings.Contains(out, "proto") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestStd(t *testing.T) {
+	var s Sample
+	s.Add(2)
+	s.Add(4)
+	if s.Std() < 1.41 || s.Std() > 1.42 {
+		t.Fatalf("std %f", s.Std())
+	}
+}

@@ -1,0 +1,117 @@
+package tasksys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestOfflineOptimalSimple(t *testing.T) {
+	s := ProtocolSystem(10, 10, 5, 5)
+	// All low-contention requests: stay in A forever, cost 0.
+	seq := make([]int, 100)
+	if got := s.OfflineOptimal(seq, 0); got != 0 {
+		t.Fatalf("all-low cost = %f, want 0", got)
+	}
+	// All high: switch once (10) and serve free.
+	for i := range seq {
+		seq[i] = 1
+	}
+	if got := s.OfflineOptimal(seq, 0); got != 10 {
+		t.Fatalf("all-high cost = %f, want 10", got)
+	}
+	// Two highs only: cheaper to eat the residual (2*5=10) or switch (10).
+	if got := s.OfflineOptimal([]int{1, 1}, 0); got != 10 {
+		t.Fatalf("two-high cost = %f, want 10", got)
+	}
+}
+
+func TestNearlyObliviousWorstCase(t *testing.T) {
+	// Figure 3.14's adversarial scenario: contention flips to disfavor the
+	// algorithm right after each switch. The on-line cost must stay within
+	// 3x optimal plus an additive constant.
+	s := ProtocolSystem(100, 100, 10, 10)
+	a := NewNearlyOblivious(s, 0)
+	var seq []int
+	state := 0
+	for i := 0; i < 5000; i++ {
+		// Adversary: request the task that is expensive in a's state.
+		task := 1 - 0
+		if a.State() == 0 {
+			task = 1
+		} else {
+			task = 0
+		}
+		a.Serve(task)
+		seq = append(seq, task)
+		_ = state
+	}
+	opt := s.OfflineOptimal(seq, 0)
+	if a.Total() > 3*opt+200+1e-9 {
+		t.Fatalf("on-line %f > 3*opt %f + const", a.Total(), 3*opt)
+	}
+	// And the adversary really did hurt: on-line should be near 3x.
+	if a.Total() < 2.4*opt {
+		t.Fatalf("worst case too gentle: on-line %f vs opt %f", a.Total(), opt)
+	}
+}
+
+func TestNearlyObliviousCompetitiveProperty(t *testing.T) {
+	// Property: for random request sequences, cost ≤ 3*opt + additive
+	// constant (2n-1 = 3 for two states).
+	f := func(raw []bool, seed uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := sim.NewRand(seed)
+		dAB := float64(r.Intn(50) + 1)
+		dBA := float64(r.Intn(50) + 1)
+		s := ProtocolSystem(dAB, dBA, float64(r.Intn(20)+1), float64(r.Intn(20)+1))
+		seq := make([]int, len(raw))
+		for i, b := range raw {
+			if b {
+				seq[i] = 1
+			}
+		}
+		a := NewNearlyOblivious(s, 0)
+		on := a.ServeAll(seq)
+		opt := s.OfflineOptimal(seq, 0)
+		const additive = 300 // covers one partial accumulation window
+		return on <= 3*opt+additive+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPollSignalSystem(t *testing.T) {
+	// A short wait (5 ticks) then proceed: optimal polls throughout.
+	s := PollSignalSystem(500, 1)
+	seq := make([]int, 6)
+	seq[5] = 1 // proceed
+	opt := s.OfflineOptimal(seq, 0)
+	if opt != 5 {
+		t.Fatalf("short-wait opt = %f, want 5 (pure polling)", opt)
+	}
+	// A long wait (10000 ticks): optimal signals, cost B = 500.
+	long := make([]int, 10001)
+	long[10000] = 1
+	// The system must return to polling to serve the proceed task.
+	opt = s.OfflineOptimal(long, 0)
+	if opt != 500 {
+		t.Fatalf("long-wait opt = %f, want 500 (signal once)", opt)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	if _, err := New([][]float64{{0, 1}}, [][]float64{{1}}); err == nil {
+		t.Fatal("ragged D accepted")
+	}
+	if _, err := New([][]float64{{0, 1}, {1, 0}}, [][]float64{{1}}); err == nil {
+		t.Fatal("C with wrong rows accepted")
+	}
+}

@@ -1,0 +1,242 @@
+package threads
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func newSched(procs int) *Scheduler {
+	return NewScheduler(machine.New(machine.DefaultConfig(procs)), DefaultCosts())
+}
+
+func TestSingleThreadRuns(t *testing.T) {
+	s := newSched(2)
+	ran := false
+	s.Spawn(0, 0, "t0", func(th *Thread) {
+		th.Advance(100)
+		ran = true
+	})
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || s.Live() != 0 {
+		t.Fatalf("ran=%v live=%d", ran, s.Live())
+	}
+}
+
+func TestNonPreemptiveSharing(t *testing.T) {
+	// Two threads on one processor: the second must not start until the
+	// first yields or finishes.
+	s := newSched(1)
+	var trace []string
+	s.Spawn(0, 0, "a", func(th *Thread) {
+		trace = append(trace, "a1")
+		th.Advance(1000)
+		trace = append(trace, "a2")
+		th.Yield()
+		trace = append(trace, "a3")
+	})
+	s.Spawn(0, 0, "b", func(th *Thread) {
+		trace = append(trace, "b1")
+		th.Yield()
+		trace = append(trace, "b2")
+	})
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "a2", "b1", "a3", "b2"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestBlockAndWake(t *testing.T) {
+	s := newSched(2)
+	var q WaitQueue
+	flag := false
+	var wokenAt Time
+	s.Spawn(0, 0, "waiter", func(th *Thread) {
+		for !flag {
+			q.Block(th, func() bool { return flag })
+		}
+		wokenAt = th.Now()
+	})
+	s.Spawn(1, 0, "signaler", func(th *Thread) {
+		th.Advance(5000)
+		flag = true
+		q.WakeAll(th)
+	})
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokenAt < 5000 {
+		t.Fatalf("woken at %d, before signal", wokenAt)
+	}
+	if s.Blocks != 1 || s.Unblocks != 1 {
+		t.Fatalf("blocks=%d unblocks=%d", s.Blocks, s.Unblocks)
+	}
+}
+
+func TestBlockingFreesProcessor(t *testing.T) {
+	// While thread A is blocked, thread B on the same processor must run —
+	// the whole point of a signaling waiting mechanism.
+	s := newSched(2)
+	var q WaitQueue
+	flag := false
+	bDone := Time(0)
+	s.Spawn(0, 0, "A", func(th *Thread) {
+		q.Block(th, func() bool { return flag })
+	})
+	s.Spawn(0, 0, "B", func(th *Thread) {
+		th.Advance(10000)
+		bDone = th.Now()
+	})
+	s.Spawn(1, 0, "sig", func(th *Thread) {
+		th.Advance(50000)
+		flag = true
+		q.WakeAll(th)
+	})
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bDone == 0 || bDone > 20000 {
+		t.Fatalf("B finished at %d; should have run while A was blocked", bDone)
+	}
+}
+
+func TestLostWakeupPrevented(t *testing.T) {
+	// The signaler fires during the waiter's unload window; the re-check in
+	// Block must catch it.
+	s := newSched(2)
+	var q WaitQueue
+	flag := false
+	completed := false
+	s.Spawn(0, 0, "waiter", func(th *Thread) {
+		for !flag {
+			q.Block(th, func() bool { return flag })
+		}
+		completed = true
+	})
+	s.Spawn(1, 0, "signaler", func(th *Thread) {
+		th.Advance(100) // lands inside the 300-cycle unload window
+		flag = true
+		q.WakeAll(th)
+	})
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !completed {
+		t.Fatal("waiter never completed: lost wakeup")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	s := newSched(2)
+	var childEnd, joinEnd Time
+	child := s.Spawn(1, 0, "child", func(th *Thread) {
+		th.Advance(7777)
+		childEnd = th.Now()
+	})
+	s.Spawn(0, 0, "parent", func(th *Thread) {
+		th.Join(child)
+		joinEnd = th.Now()
+	})
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if joinEnd < childEnd {
+		t.Fatalf("join returned at %d before child end %d", joinEnd, childEnd)
+	}
+}
+
+func TestJoinFinishedThreadIsFree(t *testing.T) {
+	s := newSched(2)
+	child := s.Spawn(1, 0, "child", func(th *Thread) {})
+	s.Spawn(0, 10000, "parent", func(th *Thread) {
+		start := th.Now()
+		th.Join(child)
+		if th.Now() != start {
+			t.Errorf("join of finished thread cost %d cycles", th.Now()-start)
+		}
+	})
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyThreadsPerProcessor(t *testing.T) {
+	s := newSched(4)
+	const perProc = 5
+	count := 0
+	for p := 0; p < 4; p++ {
+		for i := 0; i < perProc; i++ {
+			s.Spawn(p, 0, "w", func(th *Thread) {
+				for k := 0; k < 10; k++ {
+					th.Advance(50)
+					th.Yield()
+				}
+				count++
+			})
+		}
+	}
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 20 {
+		t.Fatalf("completed %d of 20", count)
+	}
+}
+
+func TestWakeOneOrder(t *testing.T) {
+	s := newSched(4)
+	var q WaitQueue
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Spawn(i, Time(i)*1000, "w", func(th *Thread) {
+			q.Block(th, nil)
+			order = append(order, i)
+		})
+	}
+	s.Spawn(3, 100000, "sig", func(th *Thread) {
+		for q.WakeOne(th) {
+			th.Advance(10)
+		}
+	})
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("wake order %v not FIFO", order)
+		}
+	}
+}
+
+func TestBlockCostIsTable41(t *testing.T) {
+	c := DefaultCosts()
+	if c.BlockCost() < 400 || c.BlockCost() > 550 {
+		t.Fatalf("block cost %d outside the ~500-cycle Alewife measurement", c.BlockCost())
+	}
+}
+
+func TestThreadImplementsContext(t *testing.T) {
+	// Threads can run the Chapter 3 protocols directly.
+	s := newSched(2)
+	a := s.Machine().Mem.Alloc(0, 1)
+	s.Spawn(0, 0, "ctx", func(th *Thread) {
+		th.Write(a, 9)
+		if th.FetchAndAdd(a, 1) != 9 {
+			t.Error("FetchAndAdd through thread context failed")
+		}
+	})
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package waitanalysis implements the closed-form expected-cost analysis of
+// two-phase waiting algorithms from Sections 4.4-4.5: expected waiting
+// costs under exponentially and uniformly distributed waiting times against
+// a restricted adversary, the resulting expected competitive factors
+// (Figures 4.4 and 4.5), and the derivation of the optimal static Lpoll.
+//
+// All costs are expressed in units of B, the fixed cost of the signaling
+// mechanism. α denotes Lpoll/B. β is the polling-efficiency factor
+// (1 for spinning; ≈ number of hardware contexts for switch-spinning).
+//
+// Headline results reproduced here:
+//   - exponential waiting times: α* = ln(e−1) ≈ 0.5413 gives a worst-case
+//     expected competitive factor of e/(e−1) ≈ 1.5820;
+//   - uniform waiting times: α* ≈ 0.62 gives ≈ 1.62.
+package waitanalysis
+
+import "math"
+
+// AlphaExpOptimal is ln(e-1), the optimal polling limit (in units of B)
+// under exponentially distributed waiting times (Section 4.5.1).
+var AlphaExpOptimal = math.Log(math.E - 1)
+
+// FactorExpOptimal is e/(e-1), the optimal on-line competitive factor.
+var FactorExpOptimal = math.E / (math.E - 1)
+
+// --- Exponentially distributed waiting times, f(t) = λe^{-λt} ---
+
+// ExpTwoPhaseCost returns E[C_2phase/α] in units of B for exponentially
+// distributed waiting times with rate λ (lambda in units of 1/B) and
+// polling efficiency beta. Polling for wall-time t costs t/β, so the
+// polling phase ends at wall time αβB.
+//
+//	E = ∫₀^{αβB} (t/β) f(t) dt + (1+α)B ∫_{αβB}^∞ f(t) dt
+func ExpTwoPhaseCost(alpha, lambda, beta float64) float64 {
+	if math.IsInf(alpha, 1) {
+		// always-poll: E[t]/β = 1/(λβ)
+		return 1 / (lambda * beta)
+	}
+	if alpha <= 0 {
+		return 1 // always-signal: B
+	}
+	x := alpha * beta // polling phase length (in B units of wall time)
+	e := math.Exp(-lambda * x)
+	poll := (1/lambda - e*(x+1/lambda)) / beta
+	return poll + (1+alpha)*e
+}
+
+// ExpOptCost returns E[C_opt] in units of B: the off-line algorithm polls
+// iff t < βB, so E = ∫₀^{βB} (t/β) f dt + B·P[t ≥ βB].
+func ExpOptCost(lambda, beta float64) float64 {
+	x := beta
+	e := math.Exp(-lambda * x)
+	poll := (1/lambda - e*(x+1/lambda)) / beta
+	return poll + e
+}
+
+// ExpFactor returns the expected competitive factor
+// E[C_2phase/α]/E[C_opt] at rate λ.
+func ExpFactor(alpha, lambda, beta float64) float64 {
+	return ExpTwoPhaseCost(alpha, lambda, beta) / ExpOptCost(lambda, beta)
+}
+
+// ExpWorstFactor returns sup over λ of ExpFactor — the competitive factor
+// against a restricted adversary that controls the arrival rate.
+func ExpWorstFactor(alpha, beta float64) float64 {
+	return supOverRate(func(lambda float64) float64 {
+		return ExpFactor(alpha, lambda, beta)
+	})
+}
+
+// OptimalAlphaExp numerically finds the α minimizing ExpWorstFactor
+// (Section 4.5.1 proves it equals ln(e−1) for β = 1).
+func OptimalAlphaExp(beta float64) float64 {
+	return argminAlpha(func(a float64) float64 { return ExpWorstFactor(a, beta) })
+}
+
+// --- Uniformly distributed waiting times, f(t) = 1/τ on [0, τ] ---
+
+// UniformTwoPhaseCost returns E[C_2phase/α] in units of B for waiting times
+// uniform on [0, τB].
+func UniformTwoPhaseCost(alpha, tau, beta float64) float64 {
+	if math.IsInf(alpha, 1) {
+		return tau / (2 * beta)
+	}
+	if alpha <= 0 {
+		return 1
+	}
+	x := alpha * beta // polling window (wall time, B units)
+	if x >= tau {
+		return tau / (2 * beta)
+	}
+	poll := x * x / (2 * beta * tau)
+	return poll + (1+alpha)*(1-x/tau)
+}
+
+// UniformOptCost returns E[C_opt] for waiting times uniform on [0, τB].
+func UniformOptCost(tau, beta float64) float64 {
+	x := beta
+	if x >= tau {
+		return tau / (2 * beta)
+	}
+	return x*x/(2*beta*tau) + (1 - x/tau)
+}
+
+// UniformFactor returns the expected competitive factor at span τ.
+func UniformFactor(alpha, tau, beta float64) float64 {
+	return UniformTwoPhaseCost(alpha, tau, beta) / UniformOptCost(tau, beta)
+}
+
+// UniformWorstFactor returns sup over τ of UniformFactor.
+func UniformWorstFactor(alpha, beta float64) float64 {
+	return supOverRate(func(tau float64) float64 {
+		return UniformFactor(alpha, tau, beta)
+	})
+}
+
+// OptimalAlphaUniform numerically finds the α minimizing UniformWorstFactor
+// (≈ 0.62 for β = 1, giving ≈ 1.62, Section 4.5.2).
+func OptimalAlphaUniform(beta float64) float64 {
+	return argminAlpha(func(a float64) float64 { return UniformWorstFactor(a, beta) })
+}
+
+// --- numeric helpers ---
+
+// supOverRate evaluates f over a wide logarithmic grid of the adversary's
+// parameter (rate λ or span τ) and refines around the max.
+func supOverRate(f func(x float64) float64) float64 {
+	best, bestX := 0.0, 0.0
+	for i := -300; i <= 300; i++ {
+		x := math.Pow(10, float64(i)/50) // 1e-6 .. 1e6
+		if v := f(x); v > best {
+			best, bestX = v, x
+		}
+	}
+	// Golden-section refine around bestX (one decade each side).
+	lo, hi := bestX/10, bestX*10
+	for k := 0; k < 80; k++ {
+		m1 := lo + (hi-lo)*0.382
+		m2 := lo + (hi-lo)*0.618
+		if f(m1) > f(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	if v := f((lo + hi) / 2); v > best {
+		best = v
+	}
+	return best
+}
+
+// argminAlpha minimizes g over α ∈ (0, 3] by golden-section search.
+func argminAlpha(g func(a float64) float64) float64 {
+	lo, hi := 0.01, 3.0
+	for k := 0; k < 100; k++ {
+		m1 := lo + (hi-lo)*0.382
+		m2 := lo + (hi-lo)*0.618
+		if g(m1) < g(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,194 @@
+// Package waiting implements the waiting mechanisms and waiting algorithms
+// of Chapter 4: spinning and switch-spinning (polling mechanisms), blocking
+// (the signaling mechanism), and the two-phase waiting algorithm that polls
+// until the cost of polling reaches Lpoll before blocking.
+//
+// A waiting algorithm's job: given a condition and a wait queue, consume as
+// few processor cycles as possible until the condition holds. Polling costs
+// cycles proportional to the waiting time; blocking costs the fixed B ≈ 500
+// cycles of Table 4.1 but frees the processor for other threads.
+package waiting
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+// Time is simulated cycles.
+type Time = machine.Time
+
+// Profiler observes individual waiting times (used to produce the
+// waiting-time distribution figures 4.6-4.11).
+type Profiler interface {
+	Observe(wait Time)
+}
+
+// Algorithm is a waiting algorithm: it returns once cond() is true.
+// Implementations may block the thread on q; whoever makes cond true must
+// wake q's threads.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Wait waits until cond() holds.
+	Wait(t *threads.Thread, cond func() bool, q *threads.WaitQueue)
+}
+
+// PollGrain is the cost of one poll iteration (a cached read plus loop
+// overhead).
+const PollGrain Time = 4
+
+// AlwaysSpin is the pure polling algorithm: Lpoll = ∞.
+type AlwaysSpin struct {
+	// Prof optionally records waiting times.
+	Prof Profiler
+}
+
+// Name implements Algorithm.
+func (a *AlwaysSpin) Name() string { return "always-spin" }
+
+// Wait implements Algorithm.
+func (a *AlwaysSpin) Wait(t *threads.Thread, cond func() bool, _ *threads.WaitQueue) {
+	start := t.Now()
+	for !cond() {
+		t.Advance(PollGrain)
+	}
+	if a.Prof != nil {
+		a.Prof.Observe(t.Now() - start)
+	}
+}
+
+// AlwaysBlock is the pure signaling algorithm: Lpoll = 0.
+type AlwaysBlock struct {
+	Prof Profiler
+}
+
+// Name implements Algorithm.
+func (a *AlwaysBlock) Name() string { return "always-block" }
+
+// Wait implements Algorithm.
+func (a *AlwaysBlock) Wait(t *threads.Thread, cond func() bool, q *threads.WaitQueue) {
+	start := t.Now()
+	for !cond() {
+		q.Block(t, cond)
+	}
+	if a.Prof != nil {
+		a.Prof.Observe(t.Now() - start)
+	}
+}
+
+// TwoPhase is the two-phase waiting algorithm: poll until the cost of
+// polling reaches Lpoll, then block. Lpoll = αB with α chosen per the
+// waiting-time distribution (Section 4.5): α = ln(e−1) ≈ 0.54 for
+// exponential waiting times (1.58-competitive), α ≈ 0.62 for uniform
+// (1.62-competitive), α = 1 for the classic 2-competitive bound.
+type TwoPhase struct {
+	Lpoll Time
+	Prof  Profiler
+	label string
+}
+
+// NewTwoPhase builds a two-phase algorithm with the given polling limit.
+func NewTwoPhase(lpoll Time) *TwoPhase {
+	return &TwoPhase{Lpoll: lpoll, label: fmt.Sprintf("2phase(L=%d)", lpoll)}
+}
+
+// NewTwoPhaseAlpha builds a two-phase algorithm with Lpoll = α·B for the
+// scheduler's blocking cost B.
+func NewTwoPhaseAlpha(alpha float64, costs threads.Costs) *TwoPhase {
+	l := Time(alpha * float64(costs.BlockCost()))
+	return &TwoPhase{Lpoll: l, label: fmt.Sprintf("2phase(%.2fB)", alpha)}
+}
+
+// Name implements Algorithm.
+func (a *TwoPhase) Name() string {
+	if a.label == "" {
+		return fmt.Sprintf("2phase(L=%d)", a.Lpoll)
+	}
+	return a.label
+}
+
+// Wait implements Algorithm.
+func (a *TwoPhase) Wait(t *threads.Thread, cond func() bool, q *threads.WaitQueue) {
+	start := t.Now()
+	deadline := start + a.Lpoll
+	for t.Now() < deadline {
+		if cond() {
+			if a.Prof != nil {
+				a.Prof.Observe(t.Now() - start)
+			}
+			return
+		}
+		t.Advance(PollGrain)
+	}
+	for !cond() {
+		q.Block(t, cond)
+	}
+	if a.Prof != nil {
+		a.Prof.Observe(t.Now() - start)
+	}
+}
+
+// SwitchSpin is the switch-spinning polling mechanism on a block-
+// multithreaded processor: between polls the thread yields to the other
+// loaded contexts, so the waiting cost is roughly t/β (β ≈ number of
+// contexts) instead of t. On an idle processor it degenerates to spinning.
+type SwitchSpin struct {
+	Prof Profiler
+}
+
+// Name implements Algorithm.
+func (a *SwitchSpin) Name() string { return "switch-spin" }
+
+// Wait implements Algorithm.
+func (a *SwitchSpin) Wait(t *threads.Thread, cond func() bool, _ *threads.WaitQueue) {
+	start := t.Now()
+	for !cond() {
+		t.Yield() // cost C per switch; other contexts use the processor
+	}
+	if a.Prof != nil {
+		a.Prof.Observe(t.Now() - start)
+	}
+}
+
+// TwoPhaseSwitch is two-phase waiting whose polling phase uses
+// switch-spinning: poll (yielding between polls) until the polling *cost*
+// (switch overhead, not wall time) reaches Lpoll, then block.
+type TwoPhaseSwitch struct {
+	Lpoll Time
+	Prof  Profiler
+}
+
+// Name implements Algorithm.
+func (a *TwoPhaseSwitch) Name() string { return fmt.Sprintf("2phase-switch(L=%d)", a.Lpoll) }
+
+// Wait implements Algorithm.
+func (a *TwoPhaseSwitch) Wait(t *threads.Thread, cond func() bool, q *threads.WaitQueue) {
+	start := t.Now()
+	var cost Time
+	sw := t.Scheduler().Costs().Switch
+	for cost < a.Lpoll {
+		if cond() {
+			if a.Prof != nil {
+				a.Prof.Observe(t.Now() - start)
+			}
+			return
+		}
+		before := t.Now()
+		t.Yield()
+		// Only the switch overhead counts as polling cost; cycles consumed
+		// by other contexts are useful work.
+		if t.Now()-before > sw {
+			cost += sw + PollGrain
+		} else {
+			cost += t.Now() - before + PollGrain
+		}
+	}
+	for !cond() {
+		q.Block(t, cond)
+	}
+	if a.Prof != nil {
+		a.Prof.Observe(t.Now() - start)
+	}
+}

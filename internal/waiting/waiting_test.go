@@ -1,0 +1,187 @@
+package waiting
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/threads"
+)
+
+type recorder struct{ waits []Time }
+
+func (r *recorder) Observe(w Time) { r.waits = append(r.waits, w) }
+
+func newSched(procs int) *threads.Scheduler {
+	return threads.NewScheduler(machine.New(machine.DefaultConfig(procs)), threads.DefaultCosts())
+}
+
+// runWait makes a waiter wait for a flag set at time signalAt, with a
+// coworker thread sharing the waiter's processor, and returns (time the
+// waiter proceeded, cycles of coworker progress before the signal).
+func runWait(t *testing.T, alg Algorithm, signalAt Time) (proceeded Time, coworkerDone Time) {
+	t.Helper()
+	s := newSched(2)
+	var q threads.WaitQueue
+	flag := false
+	s.Spawn(0, 0, "waiter", func(th *threads.Thread) {
+		alg.Wait(th, func() bool { return flag }, &q)
+		if !flag {
+			t.Error("Wait returned before condition")
+		}
+		proceeded = th.Now()
+	})
+	s.Spawn(0, 0, "coworker", func(th *threads.Thread) {
+		for i := 0; i < 200; i++ {
+			th.Advance(100)
+			th.Yield()
+		}
+		coworkerDone = th.Now()
+	})
+	s.Spawn(1, 0, "signaler", func(th *threads.Thread) {
+		th.Advance(signalAt)
+		flag = true
+		q.WakeAll(th)
+	})
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	return proceeded, coworkerDone
+}
+
+func TestAlwaysSpinProceedsPromptly(t *testing.T) {
+	proceeded, _ := runWait(t, &AlwaysSpin{}, 3000)
+	if proceeded < 3000 || proceeded > 3100 {
+		t.Fatalf("spin waiter proceeded at %d, want ~3000", proceeded)
+	}
+}
+
+func TestAlwaysBlockFreesProcessor(t *testing.T) {
+	// While the waiter is blocked, the coworker must finish its 20000
+	// cycles of work well before the (late) signal.
+	proceeded, coworker := runWait(t, &AlwaysBlock{}, 100000)
+	if proceeded < 100000 {
+		t.Fatalf("block waiter proceeded at %d before signal", proceeded)
+	}
+	if coworker == 0 || coworker > 60000 {
+		t.Fatalf("coworker finished at %d; should have run during the block", coworker)
+	}
+}
+
+func TestTwoPhaseShortWaitNeverBlocks(t *testing.T) {
+	s := newSched(2)
+	var q threads.WaitQueue
+	flag := false
+	alg := NewTwoPhase(500)
+	s.Spawn(0, 0, "waiter", func(th *threads.Thread) {
+		alg.Wait(th, func() bool { return flag }, &q)
+	})
+	s.Spawn(1, 0, "signaler", func(th *threads.Thread) {
+		th.Advance(200) // inside the polling window
+		flag = true
+		q.WakeAll(th)
+	})
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks != 0 {
+		t.Fatalf("two-phase blocked %d times during a short wait", s.Blocks)
+	}
+}
+
+func TestTwoPhaseLongWaitBlocks(t *testing.T) {
+	s := newSched(2)
+	var q threads.WaitQueue
+	flag := false
+	alg := NewTwoPhase(500)
+	s.Spawn(0, 0, "waiter", func(th *threads.Thread) {
+		alg.Wait(th, func() bool { return flag }, &q)
+	})
+	s.Spawn(1, 0, "signaler", func(th *threads.Thread) {
+		th.Advance(50000)
+		flag = true
+		q.WakeAll(th)
+	})
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks == 0 {
+		t.Fatal("two-phase never blocked during a long wait")
+	}
+}
+
+func TestTwoPhaseWorstCaseIsBounded(t *testing.T) {
+	// 2phase(B) costs at most Lpoll + B ≈ 2B of waiting overhead even when
+	// the signal arrives just after the polling phase ends — the classic
+	// 2-competitive worst case.
+	costs := threads.DefaultCosts()
+	b := costs.BlockCost()
+	alg := NewTwoPhaseAlpha(1.0, costs)
+	signalAt := alg.Lpoll + 50 // just missed the polling window
+	proceeded, _ := runWait(t, alg, signalAt)
+	// The waiter resumes after wake + reload; total overhead past the
+	// signal must stay within ~B.
+	if proceeded > signalAt+b+200 {
+		t.Fatalf("worst-case two-phase proceeded at %d for signal at %d (B=%d)", proceeded, signalAt, b)
+	}
+}
+
+func TestProfilerObservesWaits(t *testing.T) {
+	rec := &recorder{}
+	alg := &AlwaysSpin{Prof: rec}
+	runWait(t, alg, 2000)
+	if len(rec.waits) != 1 {
+		t.Fatalf("%d observations", len(rec.waits))
+	}
+	if rec.waits[0] < 1900 || rec.waits[0] > 2200 {
+		t.Fatalf("observed wait %d, want ~2000", rec.waits[0])
+	}
+}
+
+func TestSwitchSpinLetsCoworkerRun(t *testing.T) {
+	// Switch-spinning interleaves the coworker while polling.
+	proceeded, coworker := runWait(t, &SwitchSpin{}, 30000)
+	if proceeded < 30000 {
+		t.Fatal("switch-spin returned early")
+	}
+	if coworker == 0 || coworker > 60000 {
+		t.Fatalf("coworker at %d; switch-spinning should share the processor", coworker)
+	}
+}
+
+func TestTwoPhaseSwitchBlocksEventually(t *testing.T) {
+	s := newSched(2)
+	var q threads.WaitQueue
+	flag := false
+	alg := &TwoPhaseSwitch{Lpoll: 400}
+	s.Spawn(0, 0, "waiter", func(th *threads.Thread) {
+		alg.Wait(th, func() bool { return flag }, &q)
+	})
+	s.Spawn(1, 0, "signaler", func(th *threads.Thread) {
+		th.Advance(80000)
+		flag = true
+		q.WakeAll(th)
+	})
+	if err := s.Machine().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks == 0 {
+		t.Fatal("two-phase-switch never blocked")
+	}
+}
+
+func TestNames(t *testing.T) {
+	costs := threads.DefaultCosts()
+	for _, pair := range []struct {
+		alg  Algorithm
+		want string
+	}{
+		{&AlwaysSpin{}, "always-spin"},
+		{&AlwaysBlock{}, "always-block"},
+		{NewTwoPhaseAlpha(0.54, costs), "2phase(0.54B)"},
+		{&SwitchSpin{}, "switch-spin"},
+	} {
+		if pair.alg.Name() != pair.want {
+			t.Errorf("name %q, want %q", pair.alg.Name(), pair.want)
+		}
+	}
+}
