@@ -1,0 +1,28 @@
+# Local entry points mirroring the CI jobs (.github/workflows/ci.yml),
+# so "make lint test" locally checks exactly what CI checks.
+
+GO ?= go
+
+.PHONY: all build test test-full bench lint
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+# The CI test job: race detector on, slow experiment tables skipped.
+test:
+	$(GO) test -race -short ./...
+
+# The tier-1 gate: every test at full scale (slower).
+test-full:
+	$(GO) build ./... && $(GO) test ./...
+
+# One pass over every benchmark; deterministic simulated-cycle metrics,
+# plus the machine-readable experiment-matrix results in bench_results.json.
+bench:
+	BENCH_RESULTS_JSON=$(CURDIR)/bench_results.json $(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...

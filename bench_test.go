@@ -10,15 +10,50 @@
 // measure only the simulator's speed and are not the reproduced quantity.
 // Simulation runs are deterministic, so -benchtime 1x is sufficient and
 // recommended: repeated iterations reproduce identical simulated cycles.
+//
+// BenchmarkExperimentMatrix additionally drives the whole registry
+// through the parallel runner and, when BENCH_RESULTS_JSON is set,
+// writes the machine-readable results document CI uploads as an
+// artifact on every run.
 package repro_test
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/waitanalysis"
 )
+
+// BenchmarkExperimentMatrix runs every registered experiment at
+// smoke scale across the bounded worker pool and reports matrix-level
+// metrics. With BENCH_RESULTS_JSON=path it also writes the runner's
+// JSON results document (the BENCH_* trajectory artifact).
+func BenchmarkExperimentMatrix(b *testing.B) {
+	sz := experiments.Tiny()
+	specs := experiments.Default.Specs()
+	var results []experiments.Result
+	for i := 0; i < b.N; i++ {
+		runner := experiments.Runner{Sizes: sz, Parallel: runtime.GOMAXPROCS(0)}
+		results = runner.Run(specs)
+	}
+	if err := experiments.FirstErr(results); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(results)), "experiments")
+	if path := os.Getenv("BENCH_RESULTS_JSON"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		if err := experiments.WriteJSON(f, sz, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // reportSim reports a simulated-cycles metric.
 func reportSim(b *testing.B, cycles uint64, unit string) {

@@ -1,104 +1,27 @@
 // Command reactsim regenerates the protocol-selection experiments of
 // Chapter 3 on the simulated multiprocessor and prints the corresponding
-// table for each figure.
+// table for each figure. Experiments come from the shared registry
+// (internal/experiments) and any subset runs in parallel without
+// changing the output.
 //
 // Usage:
 //
+//	reactsim -list                  # show experiment names and groups
 //	reactsim -exp baseline          # Figures 1.1 / 3.2 / 3.15
-//	reactsim -exp prototype        # Figure 3.16 (16-processor machine)
-//	reactsim -exp dirnnb           # Figure 3.2's DirNNB ablation
-//	reactsim -exp multilock        # Figures 3.17-3.19
-//	reactsim -exp timevary         # Figures 3.20-3.21
-//	reactsim -exp competitive      # Figure 3.22
-//	reactsim -exp hysteresis       # Figure 3.23
-//	reactsim -exp apps             # Figures 3.24-3.25
-//	reactsim -exp messages         # Figure 3.26
-//	reactsim -exp barrier          # reactive-barrier extension (§6.2)
-//	reactsim -exp all
-//	reactsim -full                 # paper-scale sizes (slower)
+//	reactsim -exp fig3.16-prototype # one experiment by name
+//	reactsim -exp apps,barrier      # comma-separated selections
+//	reactsim -exp all -parallel 8   # the whole matrix, 8 at a time
+//	reactsim -exp all -json         # machine-readable results
+//	reactsim -full                  # paper-scale sizes (slower)
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
+	"repro/internal/expcli"
 	"repro/internal/experiments"
-	"repro/internal/stats"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (baseline, prototype, dirnnb, multilock, timevary, competitive, hysteresis, apps, messages, all)")
-	full := flag.Bool("full", false, "paper-scale sizes (64 processors; slow)")
-	flag.Parse()
-
-	sz := experiments.Quick()
-	if *full {
-		sz = experiments.Full()
-	}
-
-	runs := map[string]func() []namedTable{
-		"baseline": func() []namedTable {
-			return []namedTable{
-				{"Figure 3.15 (spin locks): overhead cycles per critical section", experiments.Fig3_15SpinLocks(sz)},
-				{"Figure 3.15 (fetch-and-op): overhead cycles per operation", experiments.Fig3_15FetchOp(sz)},
-			}
-		},
-		"prototype": func() []namedTable {
-			return []namedTable{{"Figure 3.16: spin locks on the 16-processor machine", experiments.Fig3_16Prototype(sz)}}
-		},
-		"dirnnb": func() []namedTable {
-			return []namedTable{{"Figure 3.2 ablation: LimitLESS vs full-map (DirNNB) directory", experiments.Fig3_2DirNNB(sz)}}
-		},
-		"multilock": func() []namedTable {
-			return []namedTable{{"Figures 3.17-3.19: multiple-lock test (normalized to simulated optimal)", experiments.Fig3_17MultipleLocks(sz)}}
-		},
-		"timevary": func() []namedTable {
-			return []namedTable{{"Figure 3.21: time-varying contention (normalized to MCS)", experiments.Fig3_21TimeVarying(sz)}}
-		},
-		"competitive": func() []namedTable {
-			return []namedTable{{"Figure 3.22: 3-competitive switching policy (normalized to MCS)", experiments.Fig3_22Competitive(sz)}}
-		},
-		"hysteresis": func() []namedTable {
-			return []namedTable{{"Figure 3.23: hysteresis switching policies (normalized to MCS)", experiments.Fig3_23Hysteresis(sz)}}
-		},
-		"apps": func() []namedTable {
-			return []namedTable{
-				{"Figure 3.24: fetch-and-op applications (normalized to queue-lock)", experiments.Fig3_24FetchOpApps(sz)},
-				{"Figure 3.25: spin-lock applications (normalized to test&set)", experiments.Fig3_25SpinLockApps(sz)},
-			}
-		},
-		"messages": func() []namedTable {
-			return []namedTable{{"Figure 3.26: shared-memory vs message-passing protocols", experiments.Fig3_26MessagePassing(sz)}}
-		},
-		"barrier": func() []namedTable {
-			return []namedTable{{"Extension (thesis §6.2): reactive barrier, overhead per episode", experiments.BarrierBaseline(sz)}}
-		},
-	}
-	order := []string{"baseline", "prototype", "dirnnb", "multilock", "timevary", "competitive", "hysteresis", "apps", "messages", "barrier"}
-
-	if *exp == "all" {
-		for _, name := range order {
-			emit(runs[name]())
-		}
-		return
-	}
-	run, ok := runs[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
-	}
-	emit(run())
-}
-
-type namedTable struct {
-	title string
-	table *stats.Table
-}
-
-func emit(tables []namedTable) {
-	for _, nt := range tables {
-		fmt.Printf("== %s ==\n%s\n", nt.title, nt.table)
-	}
+	os.Exit(expcli.Main(expcli.Config{Tool: experiments.ToolReactsim}, os.Args[1:], os.Stdout, os.Stderr))
 }

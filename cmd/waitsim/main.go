@@ -2,66 +2,59 @@
 // Chapter 4: the blocking-cost breakdown (Table 4.1), the analytic
 // competitive-factor curves (Figures 4.4-4.5), the measured waiting-time
 // profiles (Figures 4.6-4.11), and the benchmark execution times
-// (Figures 4.12-4.14 / Tables 4.3-4.6).
+// (Figures 4.12-4.14 / Tables 4.3-4.6). Experiments come from the shared
+// registry (internal/experiments) and any subset runs in parallel
+// without changing the output.
 //
 // Usage:
 //
+//	waitsim -list                  # show experiment names and groups
 //	waitsim -exp table4.1
 //	waitsim -exp factors           # Figures 4.4 and 4.5
-//	waitsim -exp profiles          # Figures 4.6-4.11 (semi-log histograms)
+//	waitsim -exp profiles          # Figures 4.6-4.11 (summary table)
+//	waitsim -exp profiles -hist    # ...plus semi-log histograms
 //	waitsim -exp benchmarks        # Figures 4.12-4.14 / Tables 4.3-4.5
-//	waitsim -exp halfb             # Table 4.6
-//	waitsim -exp all
+//	waitsim -exp all -parallel 8 -json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/expcli"
 	"repro/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment (table4.1, factors, profiles, benchmarks, halfb, all)")
-	full := flag.Bool("full", false, "paper-scale sizes (slower)")
-	flag.Parse()
-
-	sz := experiments.Quick()
-	if *full {
-		sz = experiments.Full()
-	}
-
-	do := func(name string) {
-		switch name {
-		case "table4.1":
-			fmt.Printf("== Table 4.1: breakdown of the cost of blocking ==\n%s\n", experiments.Table4_1BlockingCost())
-		case "factors":
-			fmt.Printf("== Figure 4.4: expected competitive factors, exponential waits ==\n%s\n", experiments.Fig4_4ExpFactors())
-			fmt.Printf("== Figure 4.5: expected competitive factors, uniform waits ==\n%s\n", experiments.Fig4_5UniformFactors())
-			fmt.Printf("== Section 4.1 extension: switch-spinning (beta=4) ==\n%s\n", experiments.Fig4_SwitchSpinFactors())
-		case "profiles":
-			for _, p := range experiments.WaitProfiles(sz) {
-				fmt.Println("==", p.Name, "==")
-				fmt.Println(p)
+	cfg := expcli.Config{
+		Tool: experiments.ToolWaitsim,
+		ExtraFlags: func(fs *flag.FlagSet) func(io.Writer, experiments.Sizes, []experiments.Result) error {
+			hist := fs.Bool("hist", false, "with the profiles experiment selected, also print its semi-log histograms (text output only)")
+			return func(w io.Writer, sz experiments.Sizes, results []experiments.Result) error {
+				if !*hist {
+					return nil
+				}
+				// Histograms accompany the profiles experiment: print them
+				// only when it was selected, reusing its exact seed so
+				// they match the summary table just printed. This reruns
+				// WaitProfiles (~tens of ms at Quick scale) rather than
+				// caching side data in the registry result.
+				for _, res := range results {
+					if res.Spec.Name != experiments.ProfilesExperiment || res.Err != nil {
+						continue
+					}
+					sz.Seed = res.Seed
+					for _, p := range experiments.WaitProfiles(sz) {
+						if _, err := fmt.Fprintf(w, "== %s ==\n%s\n", p.Name, p); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
 			}
-		case "benchmarks":
-			fmt.Printf("== Figure 4.12 / Table 4.3: producer-consumer (normalized to best) ==\n%s\n", experiments.Fig4_12ProducerConsumer(sz))
-			fmt.Printf("== Figure 4.13 / Table 4.4: barriers (normalized to best) ==\n%s\n", experiments.Fig4_13Barrier(sz))
-			fmt.Printf("== Figure 4.14 / Table 4.5: mutual exclusion (normalized to best) ==\n%s\n", experiments.Fig4_14Mutex(sz))
-		case "halfb":
-			fmt.Printf("== Table 4.6: two-phase waiting with Lpoll = 0.5B ==\n%s\n", experiments.Table4_6HalfB(sz))
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			flag.Usage()
-			os.Exit(2)
-		}
+		},
 	}
-	if *exp == "all" {
-		for _, n := range []string{"table4.1", "factors", "profiles", "benchmarks", "halfb"} {
-			do(n)
-		}
-		return
-	}
-	do(*exp)
+	os.Exit(expcli.Main(cfg, os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/fetchop"
 	"repro/internal/machine"
 	"repro/internal/spinlock"
+	"repro/internal/stats"
 	"repro/internal/tasksys"
 )
 
@@ -23,16 +26,20 @@ func LockProtocols() []string {
 // named protocol with the given contenders on a machineProcs-node machine
 // (the Figure 3.15 baseline loop).
 func LockOverhead(proto string, machineProcs, contenders, iters int) Time {
-	return lockOverhead(func(m *machine.Machine) spinlock.Lock {
+	return lockOverhead(seedOnly(), func(m *machine.Machine) spinlock.Lock {
 		return makeLock(m, proto)
 	}, machineProcs, contenders, iters, nil)
 }
 
 func makeLock(m *machine.Machine, proto string) spinlock.Lock {
-	return makeLockAt(m, proto, 0)
+	return MakeLock(m, proto, 0)
 }
 
-func makeLockAt(m *machine.Machine, proto string, home int) spinlock.Lock {
+// MakeLock constructs the named spin-lock protocol homed on node home.
+// It is the single protocol-name dispatch point shared by the experiment
+// harness and the lockstat tuning tool. It panics on an unknown name;
+// callers validating user input should check LockProtocols first.
+func MakeLock(m *machine.Machine, proto string, home int) spinlock.Lock {
 	switch proto {
 	case "test&set":
 		return spinlock.NewTAS(m.Mem, home, spinlock.DefaultBackoff)
@@ -59,26 +66,33 @@ func FopProtocols() []string {
 	return []string{"tts-lock", "queue-lock", "combining-tree", "mp-central", "mp-combining-tree", "reactive"}
 }
 
+// MakeFop constructs the named fetch-and-op protocol with nleaves
+// combining-tree leaves. Like MakeLock, it is the shared dispatch point
+// and panics on an unknown name.
+func MakeFop(m *machine.Machine, proto string, nleaves int) fetchop.FetchOp {
+	switch proto {
+	case "tts-lock":
+		return fetchop.NewTTSLockFOP(m.Mem, 0)
+	case "queue-lock":
+		return fetchop.NewQueueLockFOP(m.Mem, 0)
+	case "combining-tree":
+		return fetchop.NewCombTree(m.Mem, nleaves, 0)
+	case "mp-central":
+		return fetchop.NewMPCentral(0)
+	case "mp-combining-tree":
+		return fetchop.NewMPCombTree(m, nleaves, 0)
+	case "reactive":
+		return core.NewReactiveFetchOp(m.Mem, 0, nleaves)
+	default:
+		panic("experiments: unknown fetch-and-op protocol " + proto)
+	}
+}
+
 // FopOverhead measures the average per-operation overhead of the named
 // fetch-and-op protocol (the Figure 3.15 baseline loop).
 func FopOverhead(proto string, machineProcs, contenders, iters int) Time {
-	return fopOverhead(func(m *machine.Machine, nleaves int) fetchop.FetchOp {
-		switch proto {
-		case "tts-lock":
-			return fetchop.NewTTSLockFOP(m.Mem, 0)
-		case "queue-lock":
-			return fetchop.NewQueueLockFOP(m.Mem, 0)
-		case "combining-tree":
-			return fetchop.NewCombTree(m.Mem, nleaves, 0)
-		case "mp-central":
-			return fetchop.NewMPCentral(0)
-		case "mp-combining-tree":
-			return fetchop.NewMPCombTree(m, nleaves, 0)
-		case "reactive":
-			return core.NewReactiveFetchOp(m.Mem, 0, nleaves)
-		default:
-			panic("experiments: unknown fetch-and-op protocol " + proto)
-		}
+	return fopOverhead(seedOnly(), func(m *machine.Machine, nleaves int) fetchop.FetchOp {
+		return MakeFop(m, proto, nleaves)
 	}, machineProcs, contenders, iters)
 }
 
@@ -86,21 +100,21 @@ func FopOverhead(proto string, machineProcs, contenders, iters int) Time {
 // algorithm ("optimal", "test&set", "mcs-queue", or "reactive").
 func MultiLockElapsed(patternIdx int, alg string, total int) Time {
 	pat := Patterns()[patternIdx]
-	return multiLockElapsed(pat, total, func(m *machine.Machine, contenders, home int) spinlock.Lock {
+	return multiLockElapsed(seedOnly(), pat, total, func(m *machine.Machine, contenders, home int) spinlock.Lock {
 		if alg == "optimal" {
 			if contenders < 2 {
 				return spinlock.NewTTS(m.Mem, home, spinlock.DefaultBackoff)
 			}
 			return spinlock.NewMCS(m.Mem, home)
 		}
-		return makeLockAt(m, alg, home)
+		return MakeLock(m, alg, home)
 	})
 }
 
 // TimeVaryElapsed runs the time-varying contention test for the named
 // algorithm.
 func TimeVaryElapsed(alg string, periodLen, pctContention, periods int) Time {
-	return timeVaryElapsed(func(m *machine.Machine) spinlock.Lock {
+	return timeVaryElapsed(seedOnly(), func(m *machine.Machine) spinlock.Lock {
 		return makeLock(m, alg)
 	}, periodLen, pctContention, periods)
 }
@@ -108,7 +122,7 @@ func TimeVaryElapsed(alg string, periodLen, pctContention, periods int) Time {
 // LockOverheadBroadcast is LockOverhead with the broadcast-invalidation
 // ablation enabled.
 func LockOverheadBroadcast(proto string, machineProcs, contenders, iters int) Time {
-	return lockOverhead(func(m *machine.Machine) spinlock.Lock {
+	return lockOverhead(seedOnly(), func(m *machine.Machine) spinlock.Lock {
 		return makeLock(m, proto)
 	}, machineProcs, contenders, iters, func(cfg *machine.Config) {
 		cfg.Mem.Broadcast = true
@@ -117,7 +131,7 @@ func LockOverheadBroadcast(proto string, machineProcs, contenders, iters int) Ti
 
 // LockOverheadFullMap is LockOverhead with the full-map (DirNNB) directory.
 func LockOverheadFullMap(proto string, machineProcs, contenders, iters int) Time {
-	return lockOverhead(func(m *machine.Machine) spinlock.Lock {
+	return lockOverhead(seedOnly(), func(m *machine.Machine) spinlock.Lock {
 		return makeLock(m, proto)
 	}, machineProcs, contenders, iters, func(cfg *machine.Config) {
 		cfg.Mem.HWPointers = -1
@@ -127,7 +141,7 @@ func LockOverheadFullMap(proto string, machineProcs, contenders, iters int) Time
 // CombTreePatienceOverhead measures the combining tree with a given
 // patience window (ablation of the design choice in DESIGN.md).
 func CombTreePatienceOverhead(patience Time, machineProcs, contenders, iters int) Time {
-	return fopOverhead(func(m *machine.Machine, nleaves int) fetchop.FetchOp {
+	return fopOverhead(seedOnly(), func(m *machine.Machine, nleaves int) fetchop.FetchOp {
 		return fetchop.NewCombTree(m.Mem, nleaves, patience)
 	}, machineProcs, contenders, iters)
 }
@@ -155,4 +169,15 @@ func CompetitiveWorstCaseRatio(requests int) float64 {
 		return 0
 	}
 	return alg.Total() / opt
+}
+
+// Fig3_14CompetitiveAdversary tabulates CompetitiveWorstCaseRatio over
+// increasing adversarial request counts, showing convergence toward the
+// 3-competitive bound.
+func Fig3_14CompetitiveAdversary(sz Sizes) *stats.Table {
+	t := &stats.Table{Header: []string{"requests", "online/offline"}}
+	for _, n := range []int{100, 500, 1000, 5000} {
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.3f", CompetitiveWorstCaseRatio(n)))
+	}
+	return t
 }

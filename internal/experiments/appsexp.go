@@ -30,7 +30,7 @@ func Fig3_24FetchOpApps(sz Sizes) *stats.Table {
 	}
 	procsList := []int{16, 32, 64}
 	run := func(app string, procs int, kind string) Time {
-		m := machine.New(machine.DefaultConfig(procs))
+		m := sz.NewMachine(procs, nil)
 		switch app {
 		case "gamteb":
 			counters := make([]fetchop.FetchOp, 9)
@@ -85,7 +85,7 @@ func Fig3_25SpinLockApps(sz Sizes) *stats.Table {
 		}
 	}
 	run := func(app string, procs int, kind string) Time {
-		m := machine.New(machine.DefaultConfig(procs))
+		m := sz.NewMachine(procs, nil)
 		switch app {
 		case "mp3d-small", "mp3d-large":
 			particles := 192 * sz.AppScale

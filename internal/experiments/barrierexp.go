@@ -10,8 +10,8 @@ import (
 
 // barrierEpisodes runs rounds barrier episodes over procs processors and
 // returns the average cycles per episode (minus the mean compute skew).
-func barrierEpisodes(mk func(m *machine.Machine) barrier.Barrier, procs, rounds int) Time {
-	m := machine.New(machine.DefaultConfig(procs))
+func barrierEpisodes(sz Sizes, mk func(m *machine.Machine) barrier.Barrier, procs, rounds int) Time {
+	m := sz.NewMachine(procs, nil)
 	b := mk(m)
 	var end Time
 	for p := 0; p < procs; p++ {
@@ -52,7 +52,7 @@ func BarrierBaseline(sz Sizes) *stats.Table {
 			func(m *machine.Machine) barrier.Barrier { return barrier.NewTree(m.Mem, m.NumProcs(), 0) },
 			func(m *machine.Machine) barrier.Barrier { return barrier.NewReactive(m.Mem, 0, m.NumProcs()) },
 		} {
-			row = append(row, fmt.Sprintf("%d", barrierEpisodes(mk, procs, rounds)))
+			row = append(row, fmt.Sprintf("%d", barrierEpisodes(sz, mk, procs, rounds)))
 		}
 		t.AddRow(row...)
 	}
@@ -62,7 +62,7 @@ func BarrierBaseline(sz Sizes) *stats.Table {
 // BarrierOverhead is the exported single-measurement entry point for the
 // benchmark harness.
 func BarrierOverhead(proto string, procs, rounds int) Time {
-	return barrierEpisodes(func(m *machine.Machine) barrier.Barrier {
+	return barrierEpisodes(seedOnly(), func(m *machine.Machine) barrier.Barrier {
 		switch proto {
 		case "central":
 			return barrier.NewCentral(m.Mem, 0, m.NumProcs())

@@ -20,14 +20,26 @@ import (
 // Time is simulated cycles.
 type Time = machine.Time
 
+// DefaultSeed is the base seed of the experiment matrix. It matches
+// machine.DefaultConfig's seed, so the exported single-measurement entry
+// points (LockOverhead etc.) reproduce the seed harness's numbers;
+// registry runs derive a distinct per-experiment seed from it via
+// ExperimentSeed, so their absolute values differ from a fixed-seed run
+// (deterministically — same table on every run at the same base seed).
+const DefaultSeed uint64 = 0x5eed
+
 // Sizes scales the experiments: Quick for tests and CI, Full for
-// paper-scale runs.
+// paper-scale runs. Seed is the machine seed every simulated machine in
+// the experiment is built with; the Runner derives a distinct
+// deterministic Seed per experiment so parallel and serial execution of
+// the matrix produce byte-identical tables.
 type Sizes struct {
-	BaselineIters   int   // critical sections per processor per data point
-	BaselineProcs   []int // contention levels swept
-	MultiLockTotal  int   // total acquisitions in the multiple-lock test
-	TimeVaryPeriods int   // periods in the time-varying test
-	AppScale        int   // divisor-free scale knob for applications
+	BaselineIters   int    // critical sections per processor per data point
+	BaselineProcs   []int  // contention levels swept
+	MultiLockTotal  int    // total acquisitions in the multiple-lock test
+	TimeVaryPeriods int    // periods in the time-varying test
+	AppScale        int    // divisor-free scale knob for applications
+	Seed            uint64 // machine seed (0 means DefaultSeed)
 }
 
 // Quick returns test-scale sizes.
@@ -38,6 +50,21 @@ func Quick() Sizes {
 		MultiLockTotal:  2048,
 		TimeVaryPeriods: 4,
 		AppScale:        1,
+		Seed:            DefaultSeed,
+	}
+}
+
+// Tiny returns smoke-scale sizes: every knob shrunk so the whole matrix
+// runs in seconds. Used by the registry tests and the CI bench job;
+// shapes at this scale are noisy and must not be read as results.
+func Tiny() Sizes {
+	return Sizes{
+		BaselineIters:   8,
+		BaselineProcs:   []int{1, 4},
+		MultiLockTotal:  256,
+		TimeVaryPeriods: 1,
+		AppScale:        1,
+		Seed:            DefaultSeed,
 	}
 }
 
@@ -49,7 +76,27 @@ func Full() Sizes {
 		MultiLockTotal:  16384,
 		TimeVaryPeriods: 10,
 		AppScale:        4,
+		Seed:            DefaultSeed,
 	}
+}
+
+// seedOnly returns a Sizes carrying just a machine seed, for the exported
+// single-measurement entry points whose iteration counts are explicit.
+func seedOnly() Sizes { return Sizes{Seed: DefaultSeed} }
+
+// NewMachine builds one experiment machine: the default config at procs
+// nodes, reseeded from sz.Seed, with mod applied last. Every machine an
+// experiment creates goes through here so a spec's seed reaches all of
+// its runs.
+func (sz Sizes) NewMachine(procs int, mod func(*machine.Config)) *machine.Machine {
+	cfg := machine.DefaultConfig(procs)
+	if sz.Seed != 0 {
+		cfg.Seed = sz.Seed
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return machine.New(cfg)
 }
 
 // lockMaker builds a lock on a fresh machine.
@@ -79,12 +126,8 @@ func baselineLockMakers() []lockMaker {
 // 100-cycle critical section, release, think U(0,500) — with contenders
 // processors on a machineProcs-node machine, and returns the average
 // overhead per critical section after subtracting the test-loop latency.
-func lockOverhead(mk func(m *machine.Machine) spinlock.Lock, machineProcs, contenders, iters int, cfgMod func(*machine.Config)) Time {
-	cfg := machine.DefaultConfig(machineProcs)
-	if cfgMod != nil {
-		cfgMod(&cfg)
-	}
-	m := machine.New(cfg)
+func lockOverhead(sz Sizes, mk func(m *machine.Machine) spinlock.Lock, machineProcs, contenders, iters int, cfgMod func(*machine.Config)) Time {
+	m := sz.NewMachine(machineProcs, cfgMod)
 	l := mk(m)
 	var end Time
 	for p := 0; p < contenders; p++ {
@@ -135,7 +178,7 @@ func Fig3_15SpinLocks(sz Sizes) *stats.Table {
 	for _, p := range sz.BaselineProcs {
 		row := []string{fmt.Sprintf("%d", p)}
 		for _, mk := range makers {
-			ov := lockOverhead(mk.mk, maxP, p, sz.BaselineIters, nil)
+			ov := lockOverhead(sz, mk.mk, maxP, p, sz.BaselineIters, nil)
 			row = append(row, fmt.Sprintf("%d", ov))
 		}
 		t.AddRow(row...)
@@ -154,7 +197,7 @@ func Fig3_16Prototype(sz Sizes) *stats.Table {
 	for _, p := range []int{1, 2, 4, 8, 16} {
 		row := []string{fmt.Sprintf("%d", p)}
 		for _, mk := range makers {
-			ov := fixedThinkOverhead(mk.mk, 16, p, sz.BaselineIters*2)
+			ov := fixedThinkOverhead(sz, mk.mk, 16, p, sz.BaselineIters*2)
 			row = append(row, fmt.Sprintf("%d", ov))
 		}
 		t.AddRow(row...)
@@ -162,8 +205,8 @@ func Fig3_16Prototype(sz Sizes) *stats.Table {
 	return t
 }
 
-func fixedThinkOverhead(mk func(m *machine.Machine) spinlock.Lock, machineProcs, contenders, iters int) Time {
-	m := machine.New(machine.DefaultConfig(machineProcs))
+func fixedThinkOverhead(sz Sizes, mk func(m *machine.Machine) spinlock.Lock, machineProcs, contenders, iters int) Time {
+	m := sz.NewMachine(machineProcs, nil)
 	l := mk(m)
 	var end Time
 	for p := 0; p < contenders; p++ {
@@ -208,8 +251,8 @@ func Fig3_2DirNNB(sz Sizes) *stats.Table {
 		return spinlock.NewTTS(m.Mem, 0, spinlock.DefaultBackoff)
 	}
 	for _, p := range sz.BaselineProcs {
-		limitless := lockOverhead(mkTTS, maxP, p, sz.BaselineIters, nil)
-		fullmap := lockOverhead(mkTTS, maxP, p, sz.BaselineIters, func(cfg *machine.Config) {
+		limitless := lockOverhead(sz, mkTTS, maxP, p, sz.BaselineIters, nil)
+		fullmap := lockOverhead(sz, mkTTS, maxP, p, sz.BaselineIters, func(cfg *machine.Config) {
 			cfg.Mem.HWPointers = -1
 		})
 		t.AddRow(fmt.Sprintf("%d", p), fmt.Sprintf("%d", limitless), fmt.Sprintf("%d", fullmap))

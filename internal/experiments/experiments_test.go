@@ -24,18 +24,18 @@ func TestBaselineShapeSpinLocks(t *testing.T) {
 	// the reactive lock tracks the winner within a modest factor at both
 	// extremes.
 	iters := 30
-	tts1 := lockOverhead(mkTTS, 32, 1, iters, nil)
-	mcs1 := lockOverhead(mkMCS, 32, 1, iters, nil)
-	re1 := lockOverhead(mkReactive, 32, 1, iters, nil)
+	tts1 := lockOverhead(seedOnly(), mkTTS, 32, 1, iters, nil)
+	mcs1 := lockOverhead(seedOnly(), mkMCS, 32, 1, iters, nil)
+	re1 := lockOverhead(seedOnly(), mkReactive, 32, 1, iters, nil)
 	if !(tts1 < mcs1) {
 		t.Errorf("P=1: tts %d should beat mcs %d", tts1, mcs1)
 	}
 	if float64(re1) > 1.5*float64(tts1) {
 		t.Errorf("P=1: reactive %d too far above tts %d", re1, tts1)
 	}
-	tts16 := lockOverhead(mkTTS, 32, 16, iters, nil)
-	mcs16 := lockOverhead(mkMCS, 32, 16, iters, nil)
-	re16 := lockOverhead(mkReactive, 32, 16, iters, nil)
+	tts16 := lockOverhead(seedOnly(), mkTTS, 32, 16, iters, nil)
+	mcs16 := lockOverhead(seedOnly(), mkMCS, 32, 16, iters, nil)
+	re16 := lockOverhead(seedOnly(), mkReactive, 32, 16, iters, nil)
 	if !(mcs16 < tts16) {
 		t.Errorf("P=16: mcs %d should beat tts %d", mcs16, tts16)
 	}
@@ -51,9 +51,9 @@ func TestBaselineShapeFetchOp(t *testing.T) {
 	mkTTSF := func(m *machine.Machine, _ int) fetchop.FetchOp { return fetchop.NewTTSLockFOP(m.Mem, 0) }
 	mkTree := func(m *machine.Machine, n int) fetchop.FetchOp { return fetchop.NewCombTree(m.Mem, n, 0) }
 	mkRe := func(m *machine.Machine, n int) fetchop.FetchOp { return core.NewReactiveFetchOp(m.Mem, 0, n) }
-	l1 := fopOverhead(mkTTSF, 32, 1, iters)
-	t1 := fopOverhead(mkTree, 32, 1, iters)
-	r1 := fopOverhead(mkRe, 32, 1, iters)
+	l1 := fopOverhead(seedOnly(), mkTTSF, 32, 1, iters)
+	t1 := fopOverhead(seedOnly(), mkTree, 32, 1, iters)
+	r1 := fopOverhead(seedOnly(), mkRe, 32, 1, iters)
 	if !(l1 < t1) {
 		t.Errorf("P=1: lock-based %d should beat tree %d", l1, t1)
 	}
@@ -62,9 +62,9 @@ func TestBaselineShapeFetchOp(t *testing.T) {
 	}
 	// Longer run at P=32 so the reactive algorithm's TTS→QUEUE→TREE
 	// transition transient amortizes (the paper measures steady state).
-	l32 := fopOverhead(mkTTSF, 32, 32, iters)
-	t32 := fopOverhead(mkTree, 32, 32, 80)
-	r32 := fopOverhead(mkRe, 32, 32, 80)
+	l32 := fopOverhead(seedOnly(), mkTTSF, 32, 32, iters)
+	t32 := fopOverhead(seedOnly(), mkTree, 32, 32, 80)
+	r32 := fopOverhead(seedOnly(), mkRe, 32, 32, 80)
 	if !(t32 < l32) {
 		t.Errorf("P=32: tree %d should beat lock-based %d", t32, l32)
 	}
@@ -77,14 +77,14 @@ func TestDirNNBAblation(t *testing.T) {
 	// Figure 3.2: the full-map directory reduces TTS overhead at high
 	// contention but TTS still scales poorly (stays above MCS).
 	iters := 25
-	limitless := lockOverhead(mkTTS, 32, 32, iters, nil)
-	fullmap := lockOverhead(mkTTS, 32, 32, iters, func(cfg *machine.Config) {
+	limitless := lockOverhead(seedOnly(), mkTTS, 32, 32, iters, nil)
+	fullmap := lockOverhead(seedOnly(), mkTTS, 32, 32, iters, func(cfg *machine.Config) {
 		cfg.Mem.HWPointers = -1
 	})
 	if fullmap >= limitless {
 		t.Errorf("full-map (%d) should reduce TTS overhead vs LimitLESS (%d)", fullmap, limitless)
 	}
-	mcs := lockOverhead(mkMCS, 32, 32, iters, nil)
+	mcs := lockOverhead(seedOnly(), mkMCS, 32, 32, iters, nil)
 	if fullmap <= mcs {
 		t.Errorf("even full-map TTS (%d) should not beat MCS (%d) at 32 procs", fullmap, mcs)
 	}
@@ -95,23 +95,23 @@ func TestMultiLockReactiveNearOptimal(t *testing.T) {
 	// factor of the simulated-optimal static assignment on mixed patterns.
 	pat := Patterns()[0] // 1 lock x32 + 32 locks x1
 	total := 2048
-	opt := multiLockElapsed(pat, total, func(m *machine.Machine, contenders, home int) spinlock.Lock {
+	opt := multiLockElapsed(seedOnly(), pat, total, func(m *machine.Machine, contenders, home int) spinlock.Lock {
 		if contenders < 2 {
 			return spinlock.NewTTS(m.Mem, home, spinlock.DefaultBackoff)
 		}
 		return spinlock.NewMCS(m.Mem, home)
 	})
-	re := multiLockElapsed(pat, total, func(m *machine.Machine, _, home int) spinlock.Lock {
+	re := multiLockElapsed(seedOnly(), pat, total, func(m *machine.Machine, _, home int) spinlock.Lock {
 		return core.NewReactiveLock(m.Mem, home)
 	})
 	if float64(re) > 1.35*float64(opt) {
 		t.Errorf("reactive %d vs optimal %d: more than 35%% off", re, opt)
 	}
 	// And the reactive lock beats at least one of the static choices.
-	tas := multiLockElapsed(pat, total, func(m *machine.Machine, _, home int) spinlock.Lock {
+	tas := multiLockElapsed(seedOnly(), pat, total, func(m *machine.Machine, _, home int) spinlock.Lock {
 		return spinlock.NewTAS(m.Mem, home, spinlock.DefaultBackoff)
 	})
-	mcs := multiLockElapsed(pat, total, func(m *machine.Machine, _, home int) spinlock.Lock {
+	mcs := multiLockElapsed(seedOnly(), pat, total, func(m *machine.Machine, _, home int) spinlock.Lock {
 		return spinlock.NewMCS(m.Mem, home)
 	})
 	if re > tas && re > mcs {
@@ -126,9 +126,9 @@ func TestTimeVaryingMixedContention(t *testing.T) {
 		return spinlock.NewTAS(m.Mem, 0, spinlock.DefaultBackoff)
 	}
 	periods := 3
-	tas := timeVaryElapsed(mkTAS, 4096, 50, periods)
-	mcs := timeVaryElapsed(mkMCS, 4096, 50, periods)
-	re := timeVaryElapsed(mkReactive, 4096, 50, periods)
+	tas := timeVaryElapsed(seedOnly(), mkTAS, 4096, 50, periods)
+	mcs := timeVaryElapsed(seedOnly(), mkMCS, 4096, 50, periods)
+	re := timeVaryElapsed(seedOnly(), mkReactive, 4096, 50, periods)
 	worst := tas
 	if mcs > worst {
 		worst = mcs

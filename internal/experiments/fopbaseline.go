@@ -46,8 +46,8 @@ func mpFopMakers() []fopMaker {
 // fopOverhead runs the fetch-and-op baseline loop of Section 3.5.1 —
 // fetch&increment then think U(0,500) — and returns the average overhead
 // per operation after subtracting the 250/P test-loop latency.
-func fopOverhead(mk func(m *machine.Machine, nleaves int) fetchop.FetchOp, machineProcs, contenders, iters int) Time {
-	m := machine.New(machine.DefaultConfig(machineProcs))
+func fopOverhead(sz Sizes, mk func(m *machine.Machine, nleaves int) fetchop.FetchOp, machineProcs, contenders, iters int) Time {
+	m := sz.NewMachine(machineProcs, nil)
 	f := mk(m, machineProcs)
 	var end Time
 	for p := 0; p < contenders; p++ {
@@ -84,7 +84,7 @@ func Fig3_15FetchOp(sz Sizes) *stats.Table {
 	for _, p := range sz.BaselineProcs {
 		row := []string{fmt.Sprintf("%d", p)}
 		for _, mk := range makers {
-			ov := fopOverhead(mk.mk, maxP, p, sz.BaselineIters)
+			ov := fopOverhead(sz, mk.mk, maxP, p, sz.BaselineIters)
 			row = append(row, fmt.Sprintf("%d", ov))
 		}
 		t.AddRow(row...)
@@ -101,12 +101,12 @@ func Fig3_26MessagePassing(sz Sizes) *stats.Table {
 	for _, p := range sz.BaselineProcs {
 		row := []string{fmt.Sprintf("%d", p)}
 		// Spin locks: shared-memory MCS vs message-passing queue lock.
-		row = append(row, fmt.Sprintf("%d", lockOverhead(baselineLockMakers()[2].mk, maxP, p, sz.BaselineIters, nil)))
-		row = append(row, fmt.Sprintf("%d", lockOverhead(mpLockMaker, maxP, p, sz.BaselineIters, nil)))
+		row = append(row, fmt.Sprintf("%d", lockOverhead(sz, baselineLockMakers()[2].mk, maxP, p, sz.BaselineIters, nil)))
+		row = append(row, fmt.Sprintf("%d", lockOverhead(sz, mpLockMaker, maxP, p, sz.BaselineIters, nil)))
 		// Fetch-and-op: shared-memory combining tree vs the two MP kinds.
-		row = append(row, fmt.Sprintf("%d", fopOverhead(baselineFopMakers()[2].mk, maxP, p, sz.BaselineIters)))
+		row = append(row, fmt.Sprintf("%d", fopOverhead(sz, baselineFopMakers()[2].mk, maxP, p, sz.BaselineIters)))
 		for _, mk := range mpFopMakers() {
-			row = append(row, fmt.Sprintf("%d", fopOverhead(mk.mk, maxP, p, sz.BaselineIters)))
+			row = append(row, fmt.Sprintf("%d", fopOverhead(sz, mk.mk, maxP, p, sz.BaselineIters)))
 		}
 		t.AddRow(row...)
 	}

@@ -43,9 +43,9 @@ func Patterns() []Pattern {
 // release / think, for total acquisitions split evenly. mk receives the
 // number of processors that will contend for the lock it creates, so a
 // "simulated optimal" maker can statically pick the best protocol.
-func multiLockElapsed(pat Pattern, total int, mk func(m *machine.Machine, contenders, home int) spinlock.Lock) Time {
+func multiLockElapsed(sz Sizes, pat Pattern, total int, mk func(m *machine.Machine, contenders, home int) spinlock.Lock) Time {
 	const procs = 64
-	m := machine.New(machine.DefaultConfig(procs))
+	m := sz.NewMachine(procs, nil)
 	type assignment struct {
 		lock spinlock.Lock
 		data machine.Addr
@@ -125,7 +125,7 @@ func Fig3_17MultipleLocks(sz Sizes) *stats.Table {
 		var base Time
 		row := []string{pat.Name}
 		for i, alg := range algs {
-			el := multiLockElapsed(pat, sz.MultiLockTotal, alg.mk)
+			el := multiLockElapsed(sz, pat, sz.MultiLockTotal, alg.mk)
 			if i == 0 {
 				base = el
 				row = append(row, "1.00")

@@ -16,9 +16,9 @@ import (
 // think) and a high-contention phase (16 processors; 100-cycle critical
 // sections, 250-cycle think). periodLen is the number of lock acquisitions
 // per period; pctContention the percentage acquired under high contention.
-func timeVaryElapsed(mk func(m *machine.Machine) spinlock.Lock, periodLen, pctContention, periods int) Time {
+func timeVaryElapsed(sz Sizes, mk func(m *machine.Machine) spinlock.Lock, periodLen, pctContention, periods int) Time {
 	const procs = 16
-	m := machine.New(machine.DefaultConfig(procs))
+	m := sz.NewMachine(procs, nil)
 	l := mk(m)
 	high := periodLen * pctContention / 100
 	low := periodLen - high
@@ -93,7 +93,7 @@ func timeVaryTable(sz Sizes, algs []struct {
 			row := []string{fmt.Sprintf("%d", pct), fmt.Sprintf("%d", pl)}
 			var mcs Time
 			for i, a := range algs {
-				el := timeVaryElapsed(a.mk, pl, pct, sz.TimeVaryPeriods)
+				el := timeVaryElapsed(sz, a.mk, pl, pct, sz.TimeVaryPeriods)
 				if i == 0 {
 					mcs = el
 					row = append(row, "1.00")

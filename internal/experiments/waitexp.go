@@ -71,9 +71,9 @@ func Fig4_5UniformFactors() *stats.Table {
 	return t
 }
 
-// newSched builds a scheduler on a fresh default machine.
-func newSched(procs int) *threads.Scheduler {
-	m := machine.New(machine.DefaultConfig(procs))
+// newSched builds a scheduler on a fresh machine seeded from sz.
+func newSched(sz Sizes, procs int) *threads.Scheduler {
+	m := sz.NewMachine(procs, nil)
 	m.Eng.SetLimit(5_000_000_000)
 	return threads.NewScheduler(m, threads.DefaultCosts())
 }
@@ -103,15 +103,15 @@ type waitBench struct {
 func producerConsumerBenches(sz Sizes) []waitBench {
 	return []waitBench{
 		{"jacobi-jstr", true, func(sz Sizes, alg waiting.Algorithm) Time {
-			s := newSched(8)
+			s := newSched(sz, 8)
 			return (&apps.JacobiJstr{Threads: 8, Iters: 6 * sz.AppScale, Grain: 900}).Run(s, alg)
 		}},
 		{"future-stream", true, func(sz Sizes, alg waiting.Algorithm) Time {
-			s := newSched(8)
+			s := newSched(sz, 8)
 			return (&apps.FutureStream{Items: 15 * sz.AppScale, Mean: 1500, Work: 900}).Run(s, alg)
 		}},
 		{"future-tree", false, func(sz Sizes, alg waiting.Algorithm) Time {
-			s := newSched(8)
+			s := newSched(sz, 8)
 			return (&apps.FutureTree{Depth: 5, Grain: 600}).Run(s, alg)
 		}},
 	}
@@ -120,11 +120,11 @@ func producerConsumerBenches(sz Sizes) []waitBench {
 func barrierBenches(sz Sizes) []waitBench {
 	return []waitBench{
 		{"jacobi-bar", true, func(sz Sizes, alg waiting.Algorithm) Time {
-			s := newSched(8)
+			s := newSched(sz, 8)
 			return apps.NewJacobiBar(8, 5*sz.AppScale).Run(s, alg)
 		}},
 		{"cgrad", true, func(sz Sizes, alg waiting.Algorithm) Time {
-			s := newSched(8)
+			s := newSched(sz, 8)
 			return apps.NewCGrad(8, 4*sz.AppScale).Run(s, alg)
 		}},
 	}
@@ -133,15 +133,15 @@ func barrierBenches(sz Sizes) []waitBench {
 func mutexBenches(sz Sizes) []waitBench {
 	return []waitBench{
 		{"fibheap", true, func(sz Sizes, alg waiting.Algorithm) Time {
-			s := newSched(8)
+			s := newSched(sz, 8)
 			return (&apps.FibHeap{Threads: 16, Ops: 8 * sz.AppScale, Mean: 800}).Run(s, alg)
 		}},
 		{"mutex", true, func(sz Sizes, alg waiting.Algorithm) Time {
-			s := newSched(8)
+			s := newSched(sz, 8)
 			return (&apps.MutexBench{Threads: 16, Ops: 8 * sz.AppScale, CS: 150, Think: 900}).Run(s, alg)
 		}},
 		{"countnet", true, func(sz Sizes, alg waiting.Algorithm) Time {
-			s := newSched(8)
+			s := newSched(sz, 8)
 			return (&apps.CountNet{Threads: 16, Width: 8, Ops: 5 * sz.AppScale}).Run(s, alg)
 		}},
 	}
@@ -236,41 +236,58 @@ func WaitProfiles(sz Sizes) []*stats.WaitProfile {
 		out = append(out, p)
 	}
 	profileRun("fig4.6 j-structure readers (Jacobi-Jstr)", func(alg waiting.Algorithm) {
-		s := newSched(8)
+		s := newSched(sz, 8)
 		(&apps.JacobiJstr{Threads: 8, Iters: 6 * sz.AppScale, Grain: 900}).Run(s, alg)
 	})
 	profileRun("fig4.7 futures (FutureTree)", func(alg waiting.Algorithm) {
-		s := newSched(8)
+		s := newSched(sz, 8)
 		(&apps.FutureTree{Depth: 5, Grain: 600}).Run(s, alg)
 	})
 	profileRun("fig4.8 barrier waits (CGrad)", func(alg waiting.Algorithm) {
-		s := newSched(8)
+		s := newSched(sz, 8)
 		apps.NewCGrad(8, 4*sz.AppScale).Run(s, alg)
 	})
 	profileRun("fig4.8 barrier waits (Jacobi-Bar)", func(alg waiting.Algorithm) {
-		s := newSched(8)
+		s := newSched(sz, 8)
 		apps.NewJacobiBar(8, 5*sz.AppScale).Run(s, alg)
 	})
 	profileRun("fig4.9 barrier waits (Jacobi-Bar, ideal memory)", func(alg waiting.Algorithm) {
-		cfg := machine.DefaultConfig(8)
-		cfg.Mem = memsys.IdealConfig(8)
-		m := machine.New(cfg)
+		m := sz.NewMachine(8, func(cfg *machine.Config) {
+			cfg.Mem = memsys.IdealConfig(8)
+		})
 		s := threads.NewScheduler(m, threads.DefaultCosts())
 		apps.NewJacobiBar(8, 5*sz.AppScale).Run(s, alg)
 	})
 	profileRun("fig4.10 mutex waits (FibHeap)", func(alg waiting.Algorithm) {
-		s := newSched(8)
+		s := newSched(sz, 8)
 		(&apps.FibHeap{Threads: 16, Ops: 8 * sz.AppScale, Mean: 800}).Run(s, alg)
 	})
 	profileRun("fig4.10 mutex waits (Mutex)", func(alg waiting.Algorithm) {
-		s := newSched(8)
+		s := newSched(sz, 8)
 		(&apps.MutexBench{Threads: 16, Ops: 8 * sz.AppScale, CS: 150, Think: 900}).Run(s, alg)
 	})
 	profileRun("fig4.11 mutex waits (CountNet)", func(alg waiting.Algorithm) {
-		s := newSched(8)
+		s := newSched(sz, 8)
 		(&apps.CountNet{Threads: 16, Width: 8, Ops: 5 * sz.AppScale}).Run(s, alg)
 	})
 	return out
+}
+
+// WaitProfileSummary tabulates the waiting-time distributions of Figures
+// 4.6-4.11 as one summary row per benchmark (count, mean, percentiles).
+// The full semi-log histograms remain available from WaitProfiles;
+// waitsim -hist prints them.
+func WaitProfileSummary(sz Sizes) *stats.Table {
+	t := &stats.Table{Header: []string{"profile", "n", "mean", "p50", "p90", "max"}}
+	for _, p := range WaitProfiles(sz) {
+		t.AddRow(p.Name,
+			fmt.Sprintf("%d", p.Sample.N()),
+			fmt.Sprintf("%.0f", p.Sample.Mean()),
+			fmt.Sprintf("%.0f", p.Sample.Percentile(50)),
+			fmt.Sprintf("%.0f", p.Sample.Percentile(90)),
+			fmt.Sprintf("%.0f", p.Sample.Max()))
+	}
+	return t
 }
 
 // threadsCosts returns the default thread-management costs (test helper).

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -144,6 +145,28 @@ type Table struct {
 
 // AddRow appends a row of cells.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// MarshalJSON encodes the table as {"header": [...], "rows": [[...]]},
+// the machine-readable form the experiment runner emits.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Header, t.Rows})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var v struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	t.Header, t.Rows = v.Header, v.Rows
+	return nil
+}
 
 // String renders the table.
 func (t *Table) String() string {

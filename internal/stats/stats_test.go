@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -77,6 +78,27 @@ func TestTableRendering(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 4 {
 		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := &Table{Header: []string{"proto", "cycles"}}
+	tb.AddRow("tts", "123")
+	tb.AddRow("mcs-queue", "45678")
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"header":["proto","cycles"],"rows":[["tts","123"],["mcs-queue","45678"]]}`
+	if string(data) != want {
+		t.Fatalf("marshal:\n got %s\nwant %s", data, want)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != tb.String() {
+		t.Fatalf("round trip changed the table:\n%s\nvs\n%s", back.String(), tb.String())
 	}
 }
 
