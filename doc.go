@@ -8,5 +8,8 @@
 //
 // See README.md for the layout, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The adoptable native-Go library lives in the reactive subpackage.
+// The adoptable native-Go library lives in the reactive subpackage:
+// adaptive Mutex, Counter, and RWMutex primitives configured through an
+// Options API, with the protocol-switching policies both the library and
+// the simulator consume in reactive/policy.
 package repro

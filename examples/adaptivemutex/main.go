@@ -1,6 +1,10 @@
-// Adaptivemutex: the native-Go reactive.Mutex under a real goroutine load
-// ramp. Uncontended phases run in the cheap spin protocol; a contention
-// burst drives it into the parking protocol; idling brings it back.
+// Adaptivemutex: reactive.Mutex under a real goroutine load ramp, once
+// with the built-in streak detection and once with the 3-competitive
+// switching policy injected through the Options API. Uncontended phases
+// run in the cheap spin protocol; a contention burst drives the mutex
+// into the parking protocol; idling brings it back. The competitive
+// policy switches later (it waits for the accumulated residual to cover a
+// round-trip protocol change) but never thrashes.
 //
 //	go run ./examples/adaptivemutex
 package main
@@ -12,12 +16,11 @@ import (
 	"time"
 
 	"repro/reactive"
+	"repro/reactive/policy"
 )
 
-func main() {
-	var m reactive.Mutex
+func run(label string, m *reactive.Mutex) {
 	counter := 0
-
 	phase := func(name string, goroutines, iters, csWork int) {
 		var wg sync.WaitGroup
 		start := time.Now()
@@ -37,12 +40,20 @@ func main() {
 		}
 		wg.Wait()
 		st := m.Stats()
-		fmt.Printf("%-22s %6.2fms  mode=%v switches=%d counter=%d\n",
+		fmt.Printf("  %-22s %6.2fms  mode=%-5v switches=%d counter=%d\n",
 			name, float64(time.Since(start).Microseconds())/1000, st.Mode, st.Switches, counter)
 	}
 
-	fmt.Printf("GOMAXPROCS=%d\n", runtime.GOMAXPROCS(0))
+	fmt.Printf("%s:\n", label)
 	phase("solo phase", 1, 20000, 0)
 	phase("contention burst", 4*runtime.GOMAXPROCS(0), 2000, 50)
 	phase("cooldown (solo)", 1, 20000, 0)
+	fmt.Println()
+}
+
+func main() {
+	fmt.Printf("GOMAXPROCS=%d\n\n", runtime.GOMAXPROCS(0))
+	run("built-in streak detection (defaults)", reactive.New())
+	run("3-competitive policy injected",
+		reactive.New(reactive.WithPolicy(policy.NewCompetitive(3*reactive.ResidualCheapHigh))))
 }

@@ -1,94 +1,81 @@
 // Hitcounter: a shared event counter under a load ramp — the fetch-and-op
-// scenario from the thesis's introduction. As offered load rises from one
-// client to the whole machine, the reactive fetch-and-op migrates from the
-// TTS-lock-based protocol through the MCS-queue-based protocol to the
-// software combining tree, and back down when the load drops. The same run
-// is repeated with each passive protocol for comparison.
+// scenario from the thesis's introduction, on the native reactive.Counter.
+// As offered load ramps from one goroutine to 4×GOMAXPROCS and back, the
+// counter migrates from the single-CAS-word protocol to per-processor
+// sharded cells and back down when the load drops. The same ramp is
+// repeated with the passive alternatives (a bare atomic.Int64 and a
+// sync.Mutex-guarded int) for comparison.
 //
 //	go run ./examples/hitcounter
 package main
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/fetchop"
-	"repro/internal/machine"
+	"repro/reactive"
 )
 
-const (
-	procs       = 32
-	opsPerPhase = 40
-)
+const opsPerGoroutine = 30000
 
-// rampPhases returns the number of active clients per phase.
-func rampPhases() []int { return []int{1, 4, 32, 4, 1} }
+// rampPhases returns the number of concurrent clients per phase.
+func rampPhases() []int {
+	p := runtime.GOMAXPROCS(0)
+	return []int{1, p, 4 * p, p, 1}
+}
 
-// run drives the load ramp against one fetch-and-op implementation and
-// returns total simulated cycles.
-func run(name string, mk func(m *machine.Machine) fetchop.FetchOp, report func(m *machine.Machine, phase int)) machine.Time {
-	m := machine.New(machine.DefaultConfig(procs))
-	f := mk(m)
-	var end machine.Time
-	phase := 0
-	arrived := 0
-	active := rampPhases()
-	for p := 0; p < procs; p++ {
-		p := p
-		m.SpawnCPU(p, 0, "client", func(c *machine.CPU) {
-			for ph, n := range active {
-				if p < n {
-					for i := 0; i < opsPerPhase; i++ {
-						f.FetchAdd(c, 1)
-						c.Advance(machine.Time(c.Rand().Intn(400)))
-					}
+// ramp drives the load ramp against one add function and returns the
+// total elapsed time. report, if non-nil, runs after each phase.
+func ramp(add func(int64), report func(phase, clients int)) time.Duration {
+	start := time.Now()
+	for ph, clients := range rampPhases() {
+		var wg sync.WaitGroup
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < opsPerGoroutine; i++ {
+					add(1)
 				}
-				// Phase barrier (Go state; engine-serialized).
-				my := phase
-				arrived++
-				if arrived == procs {
-					arrived = 0
-					phase++
-					if report != nil {
-						report(m, ph)
-					}
-				}
-				for phase == my {
-					c.Advance(100)
-				}
-			}
-			if c.Now() > end {
-				end = c.Now()
-			}
-		})
+			}()
+		}
+		wg.Wait()
+		if report != nil {
+			report(ph, clients)
+		}
 	}
-	if err := m.Run(); err != nil {
-		panic(err)
-	}
-	return end
+	return time.Since(start)
 }
 
 func main() {
-	var reactive *core.ReactiveFetchOp
-	modeName := map[uint64]string{0: "tts-lock", 1: "queue-lock", 2: "combining-tree"}
-	el := run("reactive", func(m *machine.Machine) fetchop.FetchOp {
-		reactive = core.NewReactiveFetchOp(m.Mem, 0, procs)
-		return reactive
-	}, func(m *machine.Machine, ph int) {
-		fmt.Printf("  phase %d (%2d clients): protocol=%s, %d changes so far\n",
-			ph, rampPhases()[ph], modeName[reactive.Mode()], reactive.Changes)
-	})
-	fmt.Printf("reactive:        %9d cycles (%d protocol changes)\n\n", el, reactive.Changes)
+	fmt.Printf("GOMAXPROCS=%d, %d ops per goroutine per phase\n\n",
+		runtime.GOMAXPROCS(0), opsPerGoroutine)
 
-	for _, passive := range []struct {
-		name string
-		mk   func(m *machine.Machine) fetchop.FetchOp
-	}{
-		{"tts-lock", func(m *machine.Machine) fetchop.FetchOp { return fetchop.NewTTSLockFOP(m.Mem, 0) }},
-		{"queue-lock", func(m *machine.Machine) fetchop.FetchOp { return fetchop.NewQueueLockFOP(m.Mem, 0) }},
-		{"combining-tree", func(m *machine.Machine) fetchop.FetchOp { return fetchop.NewCombTree(m.Mem, procs, 0) }},
-	} {
-		el := run(passive.name, passive.mk, nil)
-		fmt.Printf("%-15s %9d cycles\n", passive.name+":", el)
-	}
+	c := reactive.NewCounter(reactive.WithSpinFailLimit(2), reactive.WithEmptyLimit(4))
+	el := ramp(c.Add, func(ph, clients int) {
+		c.Load() // reconcile (and let the counter re-evaluate contention)
+		st := c.Stats()
+		fmt.Printf("  phase %d (%3d clients): protocol=%-7v %d changes so far\n",
+			ph, clients, st.Mode, st.Switches)
+	})
+	fmt.Printf("reactive.Counter:  %8.2fms (count=%d, %d protocol changes)\n\n",
+		float64(el.Microseconds())/1000, c.Load(), c.Stats().Switches)
+
+	var ai atomic.Int64
+	el = ramp(func(d int64) { ai.Add(d) }, nil)
+	fmt.Printf("atomic.Int64:      %8.2fms (count=%d)\n",
+		float64(el.Microseconds())/1000, ai.Load())
+
+	var mu sync.Mutex
+	var guarded int64
+	el = ramp(func(d int64) {
+		mu.Lock()
+		guarded += d
+		mu.Unlock()
+	}, nil)
+	fmt.Printf("sync.Mutex + int:  %8.2fms (count=%d)\n",
+		float64(el.Microseconds())/1000, guarded)
 }

@@ -1,45 +1,95 @@
-// Pipeline: producer-consumer streams through futures with a coworker
-// thread sharing each consumer's processor — the Chapter 4 scenario where
-// the choice of waiting mechanism decides performance. The run compares
-// always-spin, always-block, and two-phase waiting with the analytically
-// optimal polling limit Lpoll = 0.54·B (1.58-competitive under the
-// exponential production intervals used here).
+// Pipeline: a native Go processing pipeline whose stages consult a shared
+// routing table on every item — the read-mostly workload where the choice
+// of *reader waiting mechanism* decides performance. The table is guarded
+// by a reactive.RWMutex: while writers (config updates) are rare and
+// quick, readers spin; when a slow bulk update arrives, readers that blow
+// their polling budget vote the lock into reader-parking mode, and a run
+// of quick updates brings it back.
 //
 //	go run ./examples/pipeline
 package main
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
-	"repro/internal/apps"
-	"repro/internal/machine"
-	"repro/internal/threads"
-	"repro/internal/waiting"
+	"repro/reactive"
 )
 
-func main() {
-	costs := threads.DefaultCosts()
-	fmt.Printf("blocking cost B = %d cycles; Lpoll(0.54B) = %d cycles\n\n",
-		costs.BlockCost(), uint64(0.54*float64(costs.BlockCost())))
+// routes is the shared routing table: item key → pipeline stage weight.
+type routes map[int]int
 
-	for _, mean := range []machine.Time{300, 1500, 8000} {
-		fmt.Printf("mean production interval %d cycles:\n", mean)
-		var spinT machine.Time
-		for _, alg := range []waiting.Algorithm{
-			&waiting.AlwaysSpin{},
-			&waiting.AlwaysBlock{},
-			waiting.NewTwoPhaseAlpha(0.54, costs),
-		} {
-			m := machine.New(machine.DefaultConfig(8))
-			s := threads.NewScheduler(m, costs)
-			app := &apps.FutureStream{Items: 40, Mean: mean, Work: 1200}
-			el := app.Run(s, alg)
-			if alg.Name() == "always-spin" {
-				spinT = el
-			}
-			fmt.Printf("  %-14s %9d cycles (%.2fx spin), %d blocks\n",
-				alg.Name(), el, float64(el)/float64(spinT), s.Blocks)
-		}
-		fmt.Println()
+func main() {
+	rw := reactive.NewRWMutex(reactive.WithSpinFailLimit(2), reactive.WithPollIters(32))
+	table := routes{}
+	for k := 0; k < 64; k++ {
+		table[k] = k % 7
 	}
+
+	var processed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Pipeline stages: each item's routing is a read-locked lookup.
+	for s := 0; s < 2*runtime.GOMAXPROCS(0); s++ {
+		wg.Add(1)
+		go func(stage int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rw.RLock()
+				_ = table[(stage+i)%64]
+				rw.RUnlock()
+				processed.Add(1)
+			}
+		}(s)
+	}
+
+	report := func(name string) {
+		st := rw.Stats()
+		fmt.Printf("%-28s mode=%-5v switches=%d items=%d\n",
+			name, st.Mode, st.Switches, processed.Load())
+	}
+
+	// Phase 1: rare, quick config updates — readers stay in spin mode.
+	for i := 0; i < 50; i++ {
+		rw.Lock()
+		table[i%64]++
+		rw.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	report("quick updates")
+
+	// Phase 2: slow bulk updates hold the write lock long enough that
+	// spinning readers burn whole scheduler quanta — the lock reacts by
+	// parking them instead.
+	for i := 0; i < 20; i++ {
+		rw.Lock()
+		for k := range table { // simulate an expensive rebuild
+			table[k] = (table[k] + 1) % 7
+		}
+		time.Sleep(2 * time.Millisecond) // long hold
+		rw.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	report("slow bulk updates")
+
+	// Phase 3: the pipeline drains; config updates continue against an
+	// idle table. Writer releases that pass no waiting readers vote the
+	// lock back to reader-spin mode.
+	close(stop)
+	wg.Wait()
+	for i := 0; i < 200; i++ {
+		rw.Lock()
+		table[i%64]++
+		rw.Unlock()
+	}
+	report("updates on a drained pipeline")
 }

@@ -1,72 +1,76 @@
-// Quickstart: build a simulated multiprocessor, create a reactive spin
-// lock, drive it through a low-contention phase and a high-contention
-// burst, and watch it change protocols.
+// Quickstart: adopt the reactive library in three lines, then watch the
+// adaptation happen. A reactive.Mutex built with the Options API guards a
+// shared map through a low-contention phase, a contention burst, and a
+// cooldown; Stats() shows the protocol it selected for each phase.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
-	"repro/internal/core"
-	"repro/internal/machine"
+	"repro/reactive"
+	"repro/reactive/policy"
 )
 
 func main() {
-	const procs = 16
-	m := machine.New(machine.DefaultConfig(procs))
-	lock := core.NewReactiveLock(m.Mem, 0)
+	// Zero value works: var mu reactive.Mutex. The constructor exists to
+	// tune detection — here: a hair-trigger switch to the scalable
+	// protocol (2 contended acquisitions) and a patient switch back
+	// (16 uncontended unlocks), i.e. hysteresis(2, 16) by options.
+	mu := reactive.New(
+		reactive.WithSpinFailLimit(2),
+		reactive.WithEmptyLimit(16),
+	)
+	hits := make(map[string]int)
 
-	modeName := func() string {
-		if lock.Mode() == 0 {
-			return "test&test&set"
+	phase := func(name string, goroutines, iters int) {
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					mu.Lock()
+					hits[name]++
+					mu.Unlock()
+				}
+			}()
 		}
-		return "mcs-queue"
+		wg.Wait()
+		st := mu.Stats()
+		fmt.Printf("%-18s %2d goroutines: mode=%-5v switches=%d\n",
+			name, goroutines, st.Mode, st.Switches)
 	}
 
-	// Phase 1: a single processor uses the lock — stays in TTS mode.
-	m.SpawnCPU(0, 0, "solo", func(c *machine.CPU) {
-		for i := 0; i < 50; i++ {
-			h := lock.Acquire(c)
-			c.Advance(100) // critical section
-			lock.Release(c, h)
-			c.Advance(200) // think
-		}
-		fmt.Printf("cycle %8d: after solo phase, mode=%s changes=%d\n",
-			c.Now(), modeName(), lock.Changes)
-	})
+	fmt.Printf("GOMAXPROCS=%d\n\n", runtime.GOMAXPROCS(0))
+	phase("solo", 1, 30000)
+	phase("burst", 4*runtime.GOMAXPROCS(0), 3000)
+	phase("cooldown", 1, 30000)
 
-	// Phase 2: all 16 processors hammer the lock — switches to the queue.
-	for p := 0; p < procs; p++ {
-		m.SpawnCPU(p, 40_000, "burst", func(c *machine.CPU) {
-			for i := 0; i < 30; i++ {
-				h := lock.Acquire(c)
-				c.Advance(100)
-				lock.Release(c, h)
-				c.Advance(machine.Time(c.Rand().Intn(250)))
+	// The same Options configure the whole family — and any policy from
+	// reactive/policy can replace the built-in streak detection. Here the
+	// 3-competitive policy decides when the counter shards itself.
+	c := reactive.NewCounter(
+		reactive.WithPolicy(policy.NewCompetitive(3 * reactive.ResidualCheapHigh)),
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < 2*runtime.GOMAXPROCS(0); g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				c.Add(1)
 			}
-		})
+		}()
 	}
-	m.SpawnCPU(0, 400_000, "report", func(c *machine.CPU) {
-		fmt.Printf("cycle %8d: after burst phase, mode=%s changes=%d\n",
-			c.Now(), modeName(), lock.Changes)
-	})
-
-	// Phase 3: back to one processor — returns to TTS mode.
-	m.SpawnCPU(3, 420_000, "cooldown", func(c *machine.CPU) {
-		for i := 0; i < 50; i++ {
-			h := lock.Acquire(c)
-			c.Advance(50)
-			lock.Release(c, h)
-			c.Advance(100)
-		}
-		fmt.Printf("cycle %8d: after cooldown, mode=%s changes=%d\n",
-			c.Now(), modeName(), lock.Changes)
-	})
-
-	if err := m.Run(); err != nil {
-		panic(err)
+	wg.Wait()
+	total := 0
+	for _, n := range hits {
+		total += n
 	}
-	fmt.Printf("memory system: %d misses, %d invalidations, %d LimitLESS traps\n",
-		m.Mem.Misses, m.Mem.Invals, m.Mem.Traps)
+	fmt.Printf("\ncounter: %d (mode=%v switches=%d); mutex-guarded hits: %d\n",
+		c.Load(), c.Stats().Mode, c.Stats().Switches, total)
 }

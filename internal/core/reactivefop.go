@@ -4,8 +4,8 @@ import (
 	"repro/internal/fetchop"
 	"repro/internal/machine"
 	"repro/internal/memsys"
-	"repro/internal/policy"
 	"repro/internal/spinlock"
+	"repro/reactive/policy"
 )
 
 // Fetch-and-op mode values.

@@ -3,8 +3,8 @@ package core
 import (
 	"repro/internal/machine"
 	"repro/internal/memsys"
-	"repro/internal/policy"
 	"repro/internal/spinlock"
+	"repro/reactive/policy"
 )
 
 // Mode values for the reactive lock's mode variable.

@@ -4,8 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/machine"
-	"repro/internal/policy"
 	"repro/internal/spinlock"
+	"repro/reactive/policy"
 )
 
 // exerciseLock runs the reactive lock under the standard loop and checks

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/reactive"
+)
+
+// NativeResult is one wall-clock measurement of a native (non-simulated)
+// synchronization primitive: the adoptable reactive library benchmarked
+// against its standard-library baseline. Unlike the simulator experiments
+// these numbers are host-dependent and non-deterministic; they are tracked
+// alongside the deterministic matrix in bench_results.json so the library's
+// trajectory is measured, not just the simulator's.
+type NativeResult struct {
+	// Name is primitive/workload/implementation, e.g.
+	// "mutex/contended/reactive".
+	Name       string  `json:"name"`
+	Goroutines int     `json:"goroutines"`
+	Ops        int     `json:"ops"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// nativeOps is the per-measurement operation count: large enough to touch
+// both protocols of every adaptive primitive, small enough for a CI smoke
+// job.
+const nativeOps = 100_000
+
+// measureNative times fn doing ops operations split across n goroutines.
+func measureNative(name string, n int, fn func(per int)) NativeResult {
+	per := nativeOps / n
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(per)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ops := per * n
+	return NativeResult{
+		Name:       name,
+		Goroutines: n,
+		Ops:        ops,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(ops),
+	}
+}
+
+// NativePrimitives measures the reactive library's Mutex, Counter, and
+// RWMutex against sync.Mutex, atomic.Int64, and sync.RWMutex, uncontended
+// (one goroutine) and contended (2×GOMAXPROCS goroutines).
+func NativePrimitives() []NativeResult {
+	contenders := 2 * runtime.GOMAXPROCS(0)
+	if contenders < 2 {
+		contenders = 2
+	}
+	var out []NativeResult
+	for _, w := range []struct {
+		name string
+		n    int
+	}{
+		{"uncontended", 1},
+		{"contended", contenders},
+	} {
+		var rm reactive.Mutex
+		out = append(out, measureNative("mutex/"+w.name+"/reactive", w.n, func(per int) {
+			for i := 0; i < per; i++ {
+				rm.Lock()
+				rm.Unlock()
+			}
+		}))
+		var sm sync.Mutex
+		out = append(out, measureNative("mutex/"+w.name+"/sync.Mutex", w.n, func(per int) {
+			for i := 0; i < per; i++ {
+				sm.Lock()
+				sm.Unlock()
+			}
+		}))
+		var rc reactive.Counter
+		out = append(out, measureNative("counter/"+w.name+"/reactive", w.n, func(per int) {
+			for i := 0; i < per; i++ {
+				rc.Add(1)
+			}
+		}))
+		var ai atomic.Int64
+		out = append(out, measureNative("counter/"+w.name+"/atomic.Int64", w.n, func(per int) {
+			for i := 0; i < per; i++ {
+				ai.Add(1)
+			}
+		}))
+		var rrw reactive.RWMutex
+		out = append(out, measureNative("rwmutex/"+w.name+"/reactive", w.n, func(per int) {
+			for i := 0; i < per; i++ {
+				rrw.RLock()
+				rrw.RUnlock()
+			}
+		}))
+		var srw sync.RWMutex
+		out = append(out, measureNative("rwmutex/"+w.name+"/sync.RWMutex", w.n, func(per int) {
+			for i := 0; i < per; i++ {
+				srw.RLock()
+				srw.RUnlock()
+			}
+		}))
+	}
+	return out
+}

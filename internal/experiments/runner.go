@@ -121,11 +121,12 @@ type jsonResult struct {
 }
 
 // jsonDoc is the top-level JSON document: the parameters the matrix ran
-// with plus one entry per experiment. It feeds the BENCH_*.json
-// trajectory uploaded by CI.
+// with plus one entry per experiment, and optionally the native-primitive
+// measurements. It feeds the BENCH_*.json trajectory uploaded by CI.
 type jsonDoc struct {
-	Params  any          `json:"params"`
-	Results []jsonResult `json:"results"`
+	Params  any            `json:"params"`
+	Results []jsonResult   `json:"results"`
+	Native  []NativeResult `json:"native,omitempty"`
 }
 
 // WriteJSON emits results as an indented, deterministic JSON document.
@@ -133,7 +134,15 @@ type jsonDoc struct {
 // registry commands, lockstat's flag values for its sweep) so the
 // document alone suffices to reproduce it.
 func WriteJSON(w io.Writer, params any, results []Result) error {
-	doc := jsonDoc{Params: params, Results: make([]jsonResult, 0, len(results))}
+	return WriteJSONNative(w, params, results, nil)
+}
+
+// WriteJSONNative is WriteJSON plus the wall-clock native-primitive
+// measurements (NativePrimitives), which CI's bench smoke job appends so
+// bench_results.json tracks the adoptable library alongside the simulator
+// matrix.
+func WriteJSONNative(w io.Writer, params any, results []Result, native []NativeResult) error {
+	doc := jsonDoc{Params: params, Results: make([]jsonResult, 0, len(results)), Native: native}
 	for _, res := range results {
 		jr := jsonResult{
 			Name:   res.Spec.Name,

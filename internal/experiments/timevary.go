@@ -5,9 +5,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
-	"repro/internal/policy"
 	"repro/internal/spinlock"
 	"repro/internal/stats"
+	"repro/reactive/policy"
 )
 
 // timeVaryElapsed runs the time-varying contention test of Section 3.5.4

@@ -1,0 +1,105 @@
+package reactive
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/reactive/policy"
+)
+
+// Policy directions shared by every primitive in this package: 0 votes
+// toward the scalable protocol (contention appeared while the cheap
+// protocol was selected), 1 votes toward the cheap protocol (contention
+// disappeared while the scalable protocol was selected). These match the
+// direction conventions of the simulator's reactive algorithms.
+const (
+	dirScaleUp   policy.Direction = 0
+	dirScaleDown policy.Direction = 1
+)
+
+// detector is the detection machinery shared by Mutex, Counter, and
+// RWMutex: it turns per-request optimal/sub-optimal observations into
+// switch-now decisions, either through the built-in per-direction streak
+// counters (hysteresis on SpinFailLimit/EmptyLimit) or through an injected
+// policy.Policy.
+//
+// Policy implementations are not concurrency-safe, and unlike the
+// simulator the native primitives have no consensus object held across
+// every detection event, so the detector serializes policy calls through a
+// tiny test-and-set lock. The lock is only taken on detection events —
+// never on a primitive's uncontended fast path.
+type detector struct {
+	pol policy.Policy // nil: built-in streak detection
+
+	lock   atomic.Uint32 // serializes calls into pol
+	dirty  atomic.Bool   // a sub-optimal vote happened since the last switch
+	streak [2]atomic.Int32
+}
+
+func (d *detector) acquire() {
+	for !d.lock.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+}
+
+func (d *detector) release() { d.lock.Store(0) }
+
+// vote records one request served while the current protocol was
+// sub-optimal in direction dir and reports whether the primitive should
+// switch protocols now. limit is the built-in detection's streak
+// threshold; residual is the extra cost charged to an injected policy.
+func (d *detector) vote(dir policy.Direction, residual uint64, limit int32) bool {
+	if d.pol == nil {
+		return d.streak[dir&1].Add(1) >= limit
+	}
+	d.acquire()
+	// dirty transitions only under the lock, so a vote racing a switch
+	// cannot leave the flag false while the policy holds pressure.
+	d.dirty.Store(true)
+	switchNow := d.pol.Suboptimal(dir, residual)
+	d.release()
+	return switchNow
+}
+
+// good records one request served by the optimal protocol, breaking
+// direction dir's sub-optimal streak. With an injected policy the call is
+// elided while the detector is quiescent (no vote has raised switching
+// pressure): only Suboptimal moves a policy toward a switch, so skipping
+// Optimal notifications in that state cannot change any decision. It is
+// also elided when the lock is busy — another goroutine is already
+// feeding the policy, and Optimal events are a stream, not a count — so
+// a fast path calling good can never serialize on the detector lock. A
+// policy implementing policy.Quiescer re-arms the elision as soon as its
+// pressure has decayed to zero, returning a long-lived primitive's fast
+// path to a single atomic load.
+func (d *detector) good(dir policy.Direction) {
+	if d.pol == nil {
+		s := &d.streak[dir&1]
+		if s.Load() != 0 {
+			s.Store(0)
+		}
+		return
+	}
+	if !d.dirty.Load() || !d.lock.CompareAndSwap(0, 1) {
+		return
+	}
+	d.pol.Optimal(dir)
+	if q, ok := d.pol.(policy.Quiescer); ok && q.Quiescent() {
+		d.dirty.Store(false)
+	}
+	d.release()
+}
+
+// switched informs the detection machinery that a protocol change was
+// carried out.
+func (d *detector) switched() {
+	if d.pol == nil {
+		d.streak[0].Store(0)
+		d.streak[1].Store(0)
+		return
+	}
+	d.acquire()
+	d.pol.Switched()
+	d.dirty.Store(false)
+	d.release()
+}

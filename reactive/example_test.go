@@ -1,0 +1,104 @@
+package reactive_test
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/reactive"
+	"repro/reactive/policy"
+)
+
+// ExampleMutex shows the drop-in sync.Mutex replacement: the zero value
+// is ready to use, and Stats reports which protocol the lock selected.
+func ExampleMutex() {
+	var mu reactive.Mutex
+	balance := 0
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				mu.Lock()
+				balance++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Println(balance)
+	// Output: 8000
+}
+
+// ExampleNew configures a Mutex through the Options API: custom detection
+// thresholds, or a switching policy from the reactive/policy package in
+// place of the built-in streak detection.
+func ExampleNew() {
+	mu := reactive.New(
+		reactive.WithSpinFailLimit(2), // switch to parking after 2 contended acquisitions
+		reactive.WithEmptyLimit(16),   // and back after 16 uncontended unlocks
+		reactive.WithPollIters(40),    // poll 40 iterations before parking (Lpoll)
+	)
+	mu.Lock()
+	mu.Unlock()
+
+	competitive := reactive.New(
+		reactive.WithPolicy(policy.NewCompetitive(3 * reactive.ResidualCheapHigh)),
+	)
+	competitive.Lock()
+	competitive.Unlock()
+
+	fmt.Println(mu.Stats().Mode, competitive.Stats().Mode)
+	// Output: spin spin
+}
+
+// ExampleCounter shows the adaptive fetch-and-add counter: a single CAS
+// word at low contention, per-processor sharded cells under high
+// contention, reconciled by Load.
+func ExampleCounter() {
+	var hits reactive.Counter
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				hits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Println(hits.Load())
+	// Output: 8000
+}
+
+// ExampleRWMutex shows the adaptive reader/writer lock: readers spin when
+// writer holds are short and park when they are long.
+func ExampleRWMutex() {
+	rw := reactive.NewRWMutex(reactive.WithPollIters(32))
+	config := map[string]string{"mode": "fast"}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				rw.RLock()
+				_ = config["mode"]
+				rw.RUnlock()
+			}
+		}()
+	}
+	rw.Lock()
+	config["mode"] = "safe"
+	rw.Unlock()
+	wg.Wait()
+
+	fmt.Println(config["mode"])
+	// Output: safe
+}

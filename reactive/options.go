@@ -1,0 +1,93 @@
+package reactive
+
+import "repro/reactive/policy"
+
+// config carries the tunables shared by every adaptive primitive in this
+// package. The zero value means "use the package defaults", so
+// zero-value primitives and primitives built by the constructors with no
+// options behave identically.
+type config struct {
+	spinFailLimit int32
+	emptyLimit    int32
+	pollIters     int32
+	pol           policy.Policy
+}
+
+// An Option configures an adaptive primitive built by New, NewCounter, or
+// NewRWMutex. Options not meaningful for a primitive are accepted and
+// ignored (e.g. WithPollIters on a Counter), so one option slice can
+// configure a family of primitives uniformly.
+type Option func(*config)
+
+// WithSpinFailLimit sets how many consecutive contended acquisitions (for
+// Mutex and RWMutex) or contended Adds (for Counter) the built-in
+// detection tolerates before switching to the scalable protocol. n must be
+// positive. Default: DefaultSpinFailLimit. Ignored when WithPolicy installs
+// an explicit switching policy.
+func WithSpinFailLimit(n int) Option {
+	if n <= 0 {
+		panic("reactive: WithSpinFailLimit requires n > 0")
+	}
+	return func(c *config) { c.spinFailLimit = int32(n) }
+}
+
+// WithEmptyLimit sets how many consecutive uncontended releases (for Mutex
+// and RWMutex) or single-writer Loads (for Counter) the built-in detection
+// tolerates before switching back to the cheap protocol. n must be
+// positive. Default: DefaultEmptyLimit. Ignored when WithPolicy installs an
+// explicit switching policy.
+func WithEmptyLimit(n int) Option {
+	if n <= 0 {
+		panic("reactive: WithEmptyLimit requires n > 0")
+	}
+	return func(c *config) { c.emptyLimit = int32(n) }
+}
+
+// WithPollIters sets the two-phase polling budget, in spin iterations,
+// that a waiter spends polling before parking (Lpoll expressed in
+// iterations). n must be positive. Default: DefaultPollIters. Used by
+// Mutex (park-mode lockers) and RWMutex (readers and writers); Counter
+// never parks and ignores it.
+func WithPollIters(n int) Option {
+	if n <= 0 {
+		panic("reactive: WithPollIters requires n > 0")
+	}
+	return func(c *config) { c.pollIters = int32(n) }
+}
+
+// WithPolicy installs an explicit protocol-switching policy from the
+// reactive/policy package (3-competitive, hysteresis, weighted-average,
+// always-switch), replacing the built-in streak detection that
+// WithSpinFailLimit and WithEmptyLimit parameterize. The primitive
+// serializes all calls into p; p must not be shared with any other
+// primitive or goroutine. A nil p restores the built-in detection.
+//
+// Detection events are mapped onto the policy as in the simulator's
+// reactive algorithms: direction 0 is cheap→scalable (contention
+// appeared), direction 1 is scalable→cheap (contention disappeared), and
+// the residual costs are ResidualCheapHigh and ResidualScalableLow.
+func WithPolicy(p policy.Policy) Option {
+	return func(c *config) { c.pol = p }
+}
+
+// apply folds opts into a config.
+func (c *config) apply(opts []Option) {
+	for _, o := range opts {
+		o(c)
+	}
+}
+
+// Residual costs fed to injected policies (policy.Policy.Suboptimal), in
+// the same abstract units the simulator uses (Section 3.5.5): serving a
+// request with the cheap protocol under high contention wastes about ten
+// times what serving one with the scalable protocol under no contention
+// does. A 3-competitive policy's threshold should be calibrated against
+// these units.
+const (
+	// ResidualCheapHigh is the residual cost charged when the cheap
+	// protocol (spin / single-word CAS) serves a contended request.
+	ResidualCheapHigh uint64 = 150
+	// ResidualScalableLow is the residual cost charged when the scalable
+	// protocol (parking / sharded cells) serves an uncontended request.
+	ResidualScalableLow uint64 = 15
+)

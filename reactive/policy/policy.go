@@ -1,5 +1,5 @@
-// Package policy implements the protocol-switching policies of Section 3.4:
-// always-switch, the 3-competitive policy derived from the
+// Package policy implements the protocol-switching policies of Section 3.4
+// of Lim's thesis: always-switch, the 3-competitive policy derived from the
 // Borodin-Linial-Saks task-system algorithm, hysteresis(x, y), and a
 // weighted-average (aging) policy.
 //
@@ -7,6 +7,12 @@
 // synchronization request as served by an optimal or sub-optimal protocol
 // (with an estimated residual cost); the policy decides *when* to act on a
 // run of sub-optimal observations by actually changing protocols.
+//
+// The same Policy interface is consumed by both halves of this repository:
+// the cycle-level simulator's reactive algorithms (internal/core) and the
+// adoptable native-Go primitives (package reactive, via
+// reactive.WithPolicy). Implementations are deliberately not synchronized —
+// see Policy for the serialization contract each consumer provides.
 package policy
 
 // Direction distinguishes which way a prospective protocol change goes
@@ -15,9 +21,12 @@ package policy
 type Direction int
 
 // Policy decides when a reactive algorithm should change protocols.
-// Implementations are not safe for concurrent use by real OS threads; in
-// the simulation all calls are serialized by the event engine, and in the
-// reactive algorithms all calls occur while holding the consensus object.
+// Implementations are not safe for concurrent use by real OS threads; each
+// consumer serializes calls itself. In the simulation all calls are
+// serialized by the event engine and occur while holding the consensus
+// object; the native primitives in package reactive serialize calls through
+// a small internal lock taken only on detection events. A Policy instance
+// must not be shared between primitives.
 type Policy interface {
 	// Name identifies the policy in experiment output.
 	Name() string
@@ -29,6 +38,17 @@ type Policy interface {
 	Optimal(dir Direction)
 	// Switched informs the policy that a protocol change was carried out.
 	Switched()
+}
+
+// Quiescer is optionally implemented by a Policy that can report holding
+// no accumulated switching pressure: from a quiescent state, only a
+// Suboptimal call can move the policy toward a switch, so a consumer may
+// elide Optimal notifications until then. The native primitives use this
+// to keep their uncontended fast paths away from the policy entirely
+// while the policy is quiescent. All policies in this package implement
+// it.
+type Quiescer interface {
+	Quiescent() bool
 }
 
 // AlwaysSwitch changes protocols immediately upon detecting that the
@@ -48,6 +68,9 @@ func (AlwaysSwitch) Optimal(Direction) {}
 
 // Switched implements Policy.
 func (AlwaysSwitch) Switched() {}
+
+// Quiescent implements Quiescer: always-switch holds no state.
+func (AlwaysSwitch) Quiescent() bool { return true }
 
 // Competitive is the 3-competitive policy of Section 3.4.1: switch when the
 // cumulative residual cost of serving requests with the sub-optimal
@@ -84,6 +107,10 @@ func (p *Competitive) Optimal(Direction) {}
 // Switched implements Policy.
 func (p *Competitive) Switched() { p.accum = 0 }
 
+// Quiescent implements Quiescer: pressure is the accumulated residual,
+// which by design survives streak breaks and only clears on a switch.
+func (p *Competitive) Quiescent() bool { return p.accum == 0 }
+
 // Hysteresis switches after a direction's streak of consecutive
 // sub-optimal requests reaches its threshold; any optimal request breaks
 // the streak. Hysteresis(x, y) in Figure 3.23's notation is
@@ -115,6 +142,9 @@ func (p *Hysteresis) Optimal(Direction) { p.streak[0], p.streak[1] = 0, 0 }
 
 // Switched implements Policy.
 func (p *Hysteresis) Switched() { p.streak[0], p.streak[1] = 0, 0 }
+
+// Quiescent implements Quiescer: pressure is the pair of streaks.
+func (p *Hysteresis) Quiescent() bool { return p.streak[0] == 0 && p.streak[1] == 0 }
 
 // WeightedAverage ages an exponentially weighted moving average of the
 // sub-optimality indicator (1 for sub-optimal, 0 for optimal) and switches
@@ -148,3 +178,6 @@ func (p *WeightedAverage) Optimal(Direction) {
 
 // Switched implements Policy.
 func (p *WeightedAverage) Switched() { p.avg = 0 }
+
+// Quiescent implements Quiescer: pressure is the decaying average.
+func (p *WeightedAverage) Quiescent() bool { return p.avg == 0 }

@@ -95,6 +95,56 @@ func TestWeightedAverageConverges(t *testing.T) {
 	}
 }
 
+func TestQuiescent(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    Policy
+	}{
+		{"always", AlwaysSwitch{}},
+		{"competitive", NewCompetitive(1000)},
+		{"hysteresis", NewHysteresis(3, 5)},
+		{"weighted-average", NewWeightedAverage(64, 192)},
+	} {
+		q, ok := tc.p.(Quiescer)
+		if !ok {
+			t.Fatalf("%s does not implement Quiescer", tc.name)
+		}
+		if !q.Quiescent() {
+			t.Fatalf("%s not quiescent at start", tc.name)
+		}
+		tc.p.Suboptimal(0, 10)
+		if tc.name != "always" && q.Quiescent() {
+			t.Fatalf("%s quiescent right after a sub-optimal request", tc.name)
+		}
+		tc.p.Switched()
+		if !q.Quiescent() {
+			t.Fatalf("%s not quiescent after Switched", tc.name)
+		}
+	}
+	// Decaying policies return to quiescence through Optimal alone; the
+	// competitive policy, by design, does not.
+	h := NewHysteresis(3, 5)
+	h.Suboptimal(0, 1)
+	h.Optimal(0)
+	if !h.Quiescent() {
+		t.Fatal("hysteresis must re-quiesce after an optimal request")
+	}
+	w := NewWeightedAverage(64, 192)
+	w.Suboptimal(0, 1)
+	for i := 0; i < 64 && !w.Quiescent(); i++ {
+		w.Optimal(0)
+	}
+	if !w.Quiescent() {
+		t.Fatal("weighted average must decay to quiescence")
+	}
+	c := NewCompetitive(1000)
+	c.Suboptimal(0, 10)
+	c.Optimal(0)
+	if c.Quiescent() {
+		t.Fatal("competitive must retain pressure across optimal requests")
+	}
+}
+
 func TestCompetitiveWithinBLSBound(t *testing.T) {
 	// Property: for any request sequence, total residual paid by the
 	// competitive policy between two switches is < threshold + max single

@@ -9,33 +9,41 @@
 // expected waiting cost is within e/(e−1) ≈ 1.58 of optimal for
 // exponentially distributed waits.
 //
-// Mutex realizes both ideas to the extent the Go runtime allows. The Go
-// scheduler owns thread placement and preemption, so cycle-exact spin-lock
-// protocol behavior (the cache-invalidation effects the thesis measures on
-// Alewife) is not observable here — the faithful reproduction of those
-// experiments lives in the internal simulator packages. What carries over
-// soundly to Go is:
+// Three primitives realize both ideas to the extent the Go runtime allows.
+// The Go scheduler owns thread placement and preemption, so cycle-exact
+// spin-lock protocol behavior (the cache-invalidation effects the thesis
+// measures on Alewife) is not observable here — the faithful reproduction
+// of those experiments lives in the internal simulator packages. What
+// carries over soundly to Go is:
 //
-//   - protocol-mode selection between a barging spin protocol (cheap,
-//     best uncontended — the test-and-test-and-set analogue) and a parking
-//     protocol with kernel-assisted wakeups (scalable, best contended — the
-//     queue-lock analogue), switched by the thesis's detection heuristics
-//     (failed-acquire streaks versus empty-waiter streaks); and
-//   - two-phase waiting inside the parking protocol, with Lpoll expressed
+//   - protocol-mode selection between a cheap protocol (best uncontended)
+//     and a scalable protocol (best contended), switched by the thesis's
+//     detection heuristics — Mutex selects between barging spin and FIFO
+//     parking, Counter between a single compare-and-swap word and sharded
+//     per-processor cells, and RWMutex between spinning and parking
+//     readers; and
+//   - two-phase waiting wherever a primitive blocks, with Lpoll expressed
 //     in spin iterations calibrated against the parking cost.
 //
-// The zero value of each type is ready to use.
+// The zero value of each type is ready to use with the package-default
+// tunables. New, NewCounter, and NewRWMutex accept Options that change the
+// detection thresholds (WithSpinFailLimit, WithEmptyLimit), the polling
+// budget (WithPollIters), or replace the built-in streak detection with
+// any policy from the reactive/policy package (WithPolicy) — the same
+// Policy interface the simulator's reactive algorithms consume.
 package reactive
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
-// Mode identifies the protocol a Mutex is currently using.
+// Mode identifies the protocol an adaptive primitive is currently using.
 type Mode uint32
 
-// Mutex protocol modes.
+// Protocol modes. Mutex and RWMutex alternate between ModeSpin and
+// ModePark; Counter alternates between ModeCAS and ModeSharded.
 const (
 	// ModeSpin is the test-and-test-and-set analogue: waiters spin with
 	// randomized exponential backoff; unlock releases the lock word for
@@ -45,12 +53,23 @@ const (
 	// two-phase polling budget and then park on a FIFO semaphore; unlock
 	// wakes the oldest parked waiter. Scalable under contention.
 	ModePark
+	// ModeCAS is Counter's cheap protocol: one shared word updated by
+	// compare-and-swap. The TTS-lock fetch-and-op analogue.
+	ModeCAS
+	// ModeSharded is Counter's scalable protocol: per-processor cells
+	// reconciled by Load. The combining-tree analogue.
+	ModeSharded
 )
 
 // String names the mode.
 func (m Mode) String() string {
-	if m == ModePark {
+	switch m {
+	case ModePark:
 		return "park"
+	case ModeCAS:
+		return "cas"
+	case ModeSharded:
+		return "sharded"
 	}
 	return "spin"
 }
@@ -62,16 +81,19 @@ const (
 	contended uint32 = 2 // locked with (possibly) parked waiters
 )
 
-// Tunables, exported for experimentation; the defaults follow the thesis:
-// switch to the scalable protocol after a streak of contended
-// acquisitions, back after a streak of uncontended ones, and poll about
-// half the cost of blocking before parking (Lpoll = 0.54·B).
+// Default tunables; the defaults follow the thesis: switch to the scalable
+// protocol after a streak of contended acquisitions, back after a streak
+// of uncontended ones, and poll about half the cost of blocking before
+// parking (Lpoll = 0.54·B). Override per primitive with WithSpinFailLimit,
+// WithEmptyLimit, and WithPollIters.
 const (
 	// DefaultSpinFailLimit is the number of consecutive contended lock
-	// acquisitions before switching ModeSpin → ModePark.
+	// acquisitions before switching ModeSpin → ModePark (and the analogous
+	// thresholds of Counter and RWMutex).
 	DefaultSpinFailLimit = 3
 	// DefaultEmptyLimit is the number of consecutive uncontended unlocks
-	// before switching ModePark → ModeSpin.
+	// before switching ModePark → ModeSpin (and the analogous thresholds
+	// of Counter and RWMutex).
 	DefaultEmptyLimit = 8
 	// DefaultPollIters is the two-phase polling budget in spin iterations
 	// before parking (≈0.5·B worth of polling on current hardware).
@@ -79,23 +101,58 @@ const (
 )
 
 // Mutex is a reactive mutual-exclusion lock. The zero value is an unlocked
-// mutex in spin mode. A Mutex must not be copied after first use.
+// mutex in spin mode with the package-default tunables; New builds one
+// with explicit Options. A Mutex must not be copied after first use.
 type Mutex struct {
 	state atomic.Uint32 // unlocked / locked / contended
 	mode  atomic.Uint32 // Mode
 
-	sema chan struct{} // FIFO park/wake channel (lazily created)
-	init atomic.Uint32 // sema initialization latch
+	sema     chan struct{} // FIFO park/wake channel (lazily created)
+	semaOnce sync.Once
 
-	waiters     atomic.Int32 // parked-or-parking waiters
-	failStreak  atomic.Int32 // consecutive contended acquisitions
-	emptyStreak atomic.Int32 // consecutive uncontended unlocks
+	waiters atomic.Int32 // parked-or-parking waiters
+
+	det detector
+	cfg config
 
 	// switches counts protocol changes (see Stats).
 	switches atomic.Uint64
 }
 
-// Stats reports the mutex's adaptive state.
+// New builds a Mutex configured by opts. New() with no options is
+// equivalent to a zero-value Mutex.
+func New(opts ...Option) *Mutex {
+	m := &Mutex{}
+	m.cfg.apply(opts)
+	m.det.pol = m.cfg.pol
+	return m
+}
+
+// failLimit, emptyLimit, pollIters resolve the configured tunables,
+// falling back to the package defaults so the zero value works.
+func (c *config) failLimit() int32 {
+	if c.spinFailLimit > 0 {
+		return c.spinFailLimit
+	}
+	return DefaultSpinFailLimit
+}
+
+func (c *config) emptyLim() int32 {
+	if c.emptyLimit > 0 {
+		return c.emptyLimit
+	}
+	return DefaultEmptyLimit
+}
+
+func (c *config) pollBudget() int32 {
+	if c.pollIters > 0 {
+		return c.pollIters
+	}
+	return DefaultPollIters
+}
+
+// Stats reports an adaptive primitive's state: the protocol currently
+// selected and how many protocol changes have been performed.
 type Stats struct {
 	Mode     Mode
 	Switches uint64
@@ -107,17 +164,7 @@ func (m *Mutex) Stats() Stats {
 }
 
 func (m *Mutex) semaphore() chan struct{} {
-	if m.init.Load() == 2 {
-		return m.sema
-	}
-	if m.init.CompareAndSwap(0, 1) {
-		m.sema = make(chan struct{}, 1)
-		m.init.Store(2)
-		return m.sema
-	}
-	for m.init.Load() != 2 {
-		runtime.Gosched()
-	}
+	m.semaOnce.Do(func() { m.sema = make(chan struct{}, 1) })
 	return m.sema
 }
 
@@ -130,7 +177,11 @@ func (m *Mutex) TryLock() bool {
 func (m *Mutex) Lock() {
 	// Optimistic fast path (the thesis's optimistic test&set).
 	if m.state.CompareAndSwap(unlocked, locked) {
-		m.failStreak.Store(0)
+		// Detection is mode-directional, as in the simulator's reactive
+		// lock: spin mode monitors the cheap→scalable direction only.
+		if Mode(m.mode.Load()) == ModeSpin {
+			m.det.good(dirScaleUp)
+		}
 		return
 	}
 	if Mode(m.mode.Load()) == ModeSpin {
@@ -138,6 +189,22 @@ func (m *Mutex) Lock() {
 		return
 	}
 	m.lockPark()
+}
+
+// noteSpinAcquire records the outcome of one spin-mode acquisition with
+// the detection machinery: an acquisition that failed at least one
+// test&set before succeeding was contended and votes toward the parking
+// protocol; an immediate acquisition breaks the streak. With the built-in
+// detection, SpinFailLimit consecutive contended acquisitions switch
+// ModeSpin → ModePark — exactly the documented streak semantics.
+func (m *Mutex) noteSpinAcquire(fails int) {
+	if fails == 0 {
+		m.det.good(dirScaleUp)
+		return
+	}
+	if m.det.vote(dirScaleUp, ResidualCheapHigh, m.cfg.failLimit()) {
+		m.switchMode(ModeSpin, ModePark)
+	}
 }
 
 // lockSpin is the test-and-test-and-set protocol with randomized
@@ -149,14 +216,7 @@ func (m *Mutex) lockSpin() {
 	for {
 		// Read-poll (cached) before attempting the RMW.
 		if m.state.Load() == unlocked && m.state.CompareAndSwap(unlocked, locked) {
-			if fails > DefaultSpinFailLimit {
-				// This acquisition was contended: vote to switch.
-				if m.failStreak.Add(1) >= DefaultSpinFailLimit {
-					m.switchMode(ModeSpin, ModePark)
-				}
-			} else {
-				m.failStreak.Store(0)
-			}
+			m.noteSpinAcquire(fails)
 			return
 		}
 		fails++
@@ -178,7 +238,7 @@ func (m *Mutex) lockSpin() {
 // hands control back.
 func (m *Mutex) lockPark() {
 	// Phase one: poll.
-	for i := 0; i < DefaultPollIters; i++ {
+	for i := int32(0); i < m.cfg.pollBudget(); i++ {
 		if m.state.CompareAndSwap(unlocked, locked) {
 			return
 		}
@@ -217,7 +277,9 @@ func (m *Mutex) Unlock() {
 		panic("reactive: Unlock of unlocked Mutex")
 	}
 	if old == contended || m.waiters.Load() > 0 {
-		m.emptyStreak.Store(0)
+		if mode == ModePark {
+			m.det.good(dirScaleDown)
+		}
 		// Wake one parked waiter (non-blocking: capacity-1 channel).
 		select {
 		case m.semaphore() <- struct{}{}:
@@ -228,7 +290,7 @@ func (m *Mutex) Unlock() {
 	if mode == ModePark {
 		// Uncontended unlock in the scalable protocol: vote to switch back
 		// to the cheap protocol.
-		if m.emptyStreak.Add(1) >= DefaultEmptyLimit {
+		if m.det.vote(dirScaleDown, ResidualScalableLow, m.cfg.emptyLim()) {
 			m.switchMode(ModePark, ModeSpin)
 		}
 	}
@@ -239,8 +301,7 @@ func (m *Mutex) Unlock() {
 func (m *Mutex) switchMode(want, next Mode) {
 	if m.mode.CompareAndSwap(uint32(want), uint32(next)) {
 		m.switches.Add(1)
-		m.failStreak.Store(0)
-		m.emptyStreak.Store(0)
+		m.det.switched()
 		if next == ModeSpin {
 			// Ensure no parked waiter is stranded across the change.
 			select {

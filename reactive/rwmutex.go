@@ -1,0 +1,285 @@
+package reactive
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// rwBias is the writer's claim on the reader count: Lock subtracts it so
+// the count is negative for exactly as long as a writer is draining
+// readers or holding the lock. It bounds the number of simultaneous
+// readers.
+const rwBias = 1 << 29
+
+// RWMutex is a reactive reader/writer lock. Writers are serialized by an
+// embedded reactive Mutex (itself adaptive); the reactive choice this type
+// adds is *how readers wait* when a writer has claimed the lock:
+//
+//   - ModeSpin — readers spin with randomized exponential backoff until
+//     the writer's release lets them re-register. Cheapest when writer
+//     critical sections are short.
+//   - ModePark — readers poll through the two-phase polling budget and
+//     then park on a condition variable the releasing writer broadcasts.
+//     Scalable when writers hold the lock long enough that spinning
+//     readers burn whole scheduler quanta.
+//
+// Detection mirrors Mutex: a reader whose wait exceeded the polling budget
+// votes toward ModePark (SpinFailLimit consecutive such waits switch); a
+// writer release that found no parked readers votes toward ModeSpin
+// (EmptyLimit consecutive such releases switch back).
+//
+// Readers register by compare-and-swap from a non-negative count, never by
+// a blind increment, so a reader can become active only while no writer
+// claim is in place, and a writer enters its critical section only after
+// the count shows zero active readers — mutual exclusion holds by
+// construction. The cost is that writers are strictly preferred: readers
+// arriving during a writer's drain or hold wait for its release, and a
+// stream of back-to-back writers can keep readers waiting longer than
+// sync.RWMutex would.
+//
+// The zero value is an unlocked RWMutex in spin mode with the
+// package-default tunables; NewRWMutex builds one with explicit Options.
+// An RWMutex must not be copied after first use. As with sync.RWMutex,
+// recursive read locking is not supported: if a goroutine holds the read
+// lock and a writer is waiting, a nested RLock deadlocks.
+type RWMutex struct {
+	w Mutex // serializes writers; adaptive in its own right
+
+	// readerCount is the number of active readers, minus rwBias while a
+	// writer has claimed the lock.
+	readerCount atomic.Int32
+
+	mode atomic.Uint32 // Mode of the reader wait protocol
+
+	mu       sync.Mutex // guards rcond's wait/broadcast ordering
+	rcond    *sync.Cond // parked readers (lazily created)
+	condOnce sync.Once
+	condUp   atomic.Bool  // rcond exists (some reader has parked)
+	rwaiters atomic.Int32 // readers parked or committing to park
+
+	wsema     chan struct{} // parked writer draining readers (lazily created)
+	wsemaOnce sync.Once
+
+	det detector
+	cfg config
+
+	switches atomic.Uint64
+}
+
+// NewRWMutex builds an RWMutex configured by opts. NewRWMutex() with no
+// options is equivalent to a zero-value RWMutex. The threshold and
+// polling options also configure the embedded writer mutex. A policy
+// installed with WithPolicy governs only the reader protocol: policy
+// instances must not be shared between primitives, so the writer mutex
+// always uses the built-in streak detection (with the same thresholds).
+func NewRWMutex(opts ...Option) *RWMutex {
+	rw := &RWMutex{}
+	rw.cfg.apply(opts)
+	rw.det.pol = rw.cfg.pol
+	rw.w.cfg = rw.cfg
+	rw.w.cfg.pol = nil
+	return rw
+}
+
+// Stats returns a snapshot of the reader wait protocol's adaptive state.
+// The embedded writer mutex keeps its own statistics.
+func (rw *RWMutex) Stats() Stats {
+	return Stats{Mode: Mode(rw.mode.Load()), Switches: rw.switches.Load()}
+}
+
+func (rw *RWMutex) readerCond() *sync.Cond {
+	rw.condOnce.Do(func() {
+		rw.rcond = sync.NewCond(&rw.mu)
+		rw.condUp.Store(true)
+	})
+	return rw.rcond
+}
+
+func (rw *RWMutex) writerSema() chan struct{} {
+	rw.wsemaOnce.Do(func() { rw.wsema = make(chan struct{}, 1) })
+	return rw.wsema
+}
+
+// RLock acquires the lock for reading.
+//
+// The fast path records no detection event: unlike Mutex, an unblocked
+// read says nothing about how long readers wait *when they do collide
+// with a writer* — and the spin-vs-park choice depends on that
+// conditional waiting time (Chapter 4's two-phase analysis), not on how
+// often collisions happen. The over-budget streak is therefore counted
+// across slow-path waits only, and broken by a slow-path wait that
+// completed within the budget (see rlockSlow).
+func (rw *RWMutex) RLock() {
+	if v := rw.readerCount.Load(); v >= 0 && rw.readerCount.CompareAndSwap(v, v+1) {
+		return
+	}
+	rw.rlockSlow()
+}
+
+// TryRLock attempts to acquire the lock for reading without waiting.
+func (rw *RWMutex) TryRLock() bool {
+	for {
+		v := rw.readerCount.Load()
+		if v < 0 {
+			return false
+		}
+		if rw.readerCount.CompareAndSwap(v, v+1) {
+			return true
+		}
+	}
+}
+
+// rlockSlow waits for the writer claim to clear and re-registers. Only
+// iterations spent blocked by a writer (negative count) consume the
+// polling budget; reader-reader CAS races retry immediately.
+func (rw *RWMutex) rlockSlow() {
+	budget := int(rw.cfg.pollBudget())
+	blocked, backoff := 0, 1
+	for {
+		v := rw.readerCount.Load()
+		if v >= 0 {
+			if !rw.readerCount.CompareAndSwap(v, v+1) {
+				continue
+			}
+			// Acquired. A wait that exceeded the polling budget means a
+			// spinning reader burned more than Lpoll: sub-optimal, vote
+			// toward the parking protocol. Detection is mode-directional:
+			// spin mode monitors the cheap→scalable direction only.
+			if Mode(rw.mode.Load()) == ModeSpin {
+				if blocked > budget {
+					if rw.det.vote(dirScaleUp, ResidualCheapHigh, rw.cfg.failLimit()) {
+						rw.switchRWMode(ModeSpin, ModePark)
+					}
+				} else {
+					rw.det.good(dirScaleUp)
+				}
+			}
+			return
+		}
+		if Mode(rw.mode.Load()) == ModePark && blocked >= budget {
+			rw.rlockPark()
+			continue // woken with the claim cleared: retry registration
+		}
+		blocked++
+		for i := 0; i < backoff; i++ {
+			runtime.Gosched()
+		}
+		if backoff < 16 {
+			backoff *= 2
+		}
+	}
+}
+
+// rlockPark is the reader's phase-two wait: park on the condition variable
+// until a releasing writer (or a protocol change) broadcasts. The monitor
+// pattern makes the wakeup airtight: the predicate is re-checked under mu,
+// and writers broadcast under mu after clearing the claim.
+func (rw *RWMutex) rlockPark() {
+	c := rw.readerCond()
+	c.L.Lock()
+	rw.rwaiters.Add(1)
+	for rw.readerCount.Load() < 0 {
+		c.Wait()
+	}
+	rw.rwaiters.Add(-1)
+	c.L.Unlock()
+}
+
+// RUnlock releases one read hold.
+func (rw *RWMutex) RUnlock() {
+	r := rw.readerCount.Add(-1)
+	if r >= 0 {
+		return
+	}
+	if r == -1 || r < -rwBias {
+		panic("reactive: RUnlock of unlocked RWMutex")
+	}
+	// A writer is draining; if this was the last active reader, wake it.
+	if r == -rwBias {
+		select {
+		case rw.writerSema() <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Lock acquires the lock for writing.
+func (rw *RWMutex) Lock() {
+	rw.w.Lock()
+	// Claim the lock; new readers now wait. Then drain active readers.
+	if rw.readerCount.Add(-rwBias) != -rwBias {
+		rw.drainReaders()
+	}
+}
+
+// TryLock attempts to acquire the lock for writing without waiting.
+func (rw *RWMutex) TryLock() bool {
+	if !rw.w.TryLock() {
+		return false
+	}
+	if !rw.readerCount.CompareAndSwap(0, -rwBias) {
+		rw.w.Unlock()
+		return false
+	}
+	return true
+}
+
+// drainReaders waits for the active readers to release, two-phase: poll
+// through the budget, then park on the writer semaphore the last draining
+// reader signals.
+func (rw *RWMutex) drainReaders() {
+	for i := int32(0); i < rw.cfg.pollBudget(); i++ {
+		if rw.readerCount.Load() == -rwBias {
+			return
+		}
+		runtime.Gosched()
+	}
+	sema := rw.writerSema()
+	for rw.readerCount.Load() != -rwBias {
+		// A stale token (from a drain that finished by polling) is
+		// consumed harmlessly: the loop re-checks before parking again.
+		<-sema
+	}
+}
+
+// Unlock releases the write hold, waking parked readers so they can
+// re-register.
+func (rw *RWMutex) Unlock() {
+	// Parked readers sampled before the claim clears: the signal for the
+	// scalable→cheap detection below.
+	parked := rw.condUp.Load() && rw.rwaiters.Load() > 0
+	if rw.readerCount.Add(rwBias) != 0 {
+		panic("reactive: Unlock of unlocked RWMutex")
+	}
+	if parked || (rw.condUp.Load() && rw.rwaiters.Load() > 0) {
+		rw.mu.Lock()
+		rw.rcond.Broadcast()
+		rw.mu.Unlock()
+	}
+	if Mode(rw.mode.Load()) == ModePark {
+		if parked {
+			rw.det.good(dirScaleDown)
+		} else if rw.det.vote(dirScaleDown, ResidualScalableLow, rw.cfg.emptyLim()) {
+			// No reader parked across this writer hold: the parking
+			// protocol went unused; vote toward the cheap protocol.
+			rw.switchRWMode(ModePark, ModeSpin)
+		}
+	}
+	rw.w.Unlock()
+}
+
+// switchRWMode performs a reader-protocol change from want to next, at
+// most once per detection round. A change back to spin wakes any reader
+// still parked so none sleeps through the transition.
+func (rw *RWMutex) switchRWMode(want, next Mode) {
+	if rw.mode.CompareAndSwap(uint32(want), uint32(next)) {
+		rw.switches.Add(1)
+		rw.det.switched()
+		if next == ModeSpin && rw.condUp.Load() {
+			rw.mu.Lock()
+			rw.rcond.Broadcast()
+			rw.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package reactive
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/reactive/policy"
+)
+
+// TestRWMutexOptionsReachWriterMutex: threshold and polling options
+// configure the embedded writer mutex too; an injected policy does not
+// (policy instances must not be shared between primitives).
+func TestRWMutexOptionsReachWriterMutex(t *testing.T) {
+	rw := NewRWMutex(WithSpinFailLimit(7), WithEmptyLimit(9), WithPollIters(11),
+		WithPolicy(policy.AlwaysSwitch{}))
+	if rw.w.cfg.failLimit() != 7 || rw.w.cfg.emptyLim() != 9 || rw.w.cfg.pollBudget() != 11 {
+		t.Fatalf("writer mutex tunables = (%d,%d,%d), want (7,9,11)",
+			rw.w.cfg.failLimit(), rw.w.cfg.emptyLim(), rw.w.cfg.pollBudget())
+	}
+	if rw.w.cfg.pol != nil || rw.w.det.pol != nil {
+		t.Fatal("policy instance must not propagate to the embedded writer mutex")
+	}
+	if rw.det.pol == nil {
+		t.Fatal("policy not installed on the reader protocol")
+	}
+}
+
+func TestRWMutexZeroValue(t *testing.T) {
+	var rw RWMutex
+	rw.Lock()
+	rw.Unlock()
+	rw.RLock()
+	rw.RUnlock()
+	if st := rw.Stats(); st.Mode != ModeSpin || st.Switches != 0 {
+		t.Fatalf("Stats = %+v, want spin mode, 0 switches", st)
+	}
+}
+
+func TestRWMutexTryLocks(t *testing.T) {
+	var rw RWMutex
+	if !rw.TryLock() {
+		t.Fatal("TryLock on free RWMutex failed")
+	}
+	if rw.TryLock() {
+		t.Fatal("TryLock on write-held RWMutex succeeded")
+	}
+	if rw.TryRLock() {
+		t.Fatal("TryRLock on write-held RWMutex succeeded")
+	}
+	rw.Unlock()
+	if !rw.TryRLock() {
+		t.Fatal("TryRLock on free RWMutex failed")
+	}
+	if !rw.TryRLock() {
+		t.Fatal("second concurrent TryRLock failed")
+	}
+	if rw.TryLock() {
+		t.Fatal("TryLock with active readers succeeded")
+	}
+	rw.RUnlock()
+	rw.RUnlock()
+}
+
+func TestRWMutexPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Unlock":  func() { var rw RWMutex; rw.Unlock() },
+		"RUnlock": func() { var rw RWMutex; rw.RUnlock() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s of unlocked RWMutex did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestRWMutexExclusion: writers exclude writers and readers; readers
+// admit each other. The classic invariant check, run with -race in CI.
+func TestRWMutexExclusion(t *testing.T) {
+	var rw RWMutex
+	var readers, writers atomic.Int32
+	var wg sync.WaitGroup
+	iters := 1000
+	if testing.Short() {
+		iters = 300
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rw.Lock()
+				if writers.Add(1) != 1 || readers.Load() != 0 {
+					t.Error("writer overlapped a writer or reader")
+				}
+				runtime.Gosched()
+				writers.Add(-1)
+				rw.Unlock()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rw.RLock()
+				readers.Add(1)
+				if writers.Load() != 0 {
+					t.Error("reader overlapped a writer")
+				}
+				runtime.Gosched()
+				readers.Add(-1)
+				rw.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRWMutexParallelReaders: two readers hold the lock simultaneously.
+func TestRWMutexParallelReaders(t *testing.T) {
+	var rw RWMutex
+	rw.RLock()
+	second := make(chan struct{})
+	go func() {
+		rw.RLock()
+		close(second)
+		rw.RUnlock()
+	}()
+	select {
+	case <-second:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second reader blocked by first")
+	}
+	rw.RUnlock()
+}
+
+// TestRWMutexSwitchesToParkOnLongWrites: a writer hold longer than the
+// readers' polling budget drives the reader protocol to parking.
+func TestRWMutexSwitchesToParkOnLongWrites(t *testing.T) {
+	rw := NewRWMutex(WithSpinFailLimit(1), WithPollIters(1))
+	rw.Lock()
+	acquired := make(chan struct{})
+	go func() {
+		rw.RLock()
+		rw.RUnlock()
+		close(acquired)
+	}()
+	// Hold long enough that the reader's spin certainly exceeds its
+	// one-iteration budget.
+	time.Sleep(50 * time.Millisecond)
+	rw.Unlock()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader never acquired after writer release")
+	}
+	if got := rw.Stats().Mode; got != ModePark {
+		t.Fatalf("mode = %v after over-budget reader wait, want park", got)
+	}
+}
+
+// TestRWMutexWaitStreakSemantics pins the reader detection semantics: the
+// over-budget streak counts slow-path waits only. Fast-path reads are
+// neutral (the spin-vs-park choice depends on waiting time *when readers
+// wait*, not on collision frequency — so a read-mostly workload can still
+// reach park mode), while a slow-path wait completed within the budget
+// breaks the streak.
+func TestRWMutexWaitStreakSemantics(t *testing.T) {
+	vote := func(rw *RWMutex) { // one over-budget wait, as rlockSlow reports it
+		if rw.det.vote(dirScaleUp, ResidualCheapHigh, rw.cfg.failLimit()) {
+			rw.switchRWMode(ModeSpin, ModePark)
+		}
+	}
+	// Fast-path reads interleaved with over-budget waits must not reset
+	// the streak.
+	var rw RWMutex
+	for i := 0; i < DefaultSpinFailLimit; i++ {
+		rw.RLock()
+		rw.RUnlock()
+		vote(&rw)
+	}
+	if got := rw.Stats().Mode; got != ModePark {
+		t.Fatalf("mode = %v: fast-path reads must not mask over-budget waits", got)
+	}
+	// A within-budget slow-path wait (reported via good) breaks it.
+	var rw2 RWMutex
+	for round := 0; round < 3; round++ {
+		for i := 0; i < DefaultSpinFailLimit-1; i++ {
+			vote(&rw2)
+		}
+		rw2.det.good(dirScaleUp) // within-budget wait, as rlockSlow reports it
+	}
+	if got := rw2.Stats().Mode; got != ModeSpin {
+		t.Fatalf("mode = %v after broken streaks, want spin", got)
+	}
+}
+
+// TestRWMutexReturnsToSpinWhenWritersUncontended: writer releases that
+// pass no waiting readers switch the reader protocol back to spin.
+func TestRWMutexReturnsToSpinWhenWritersUncontended(t *testing.T) {
+	var rw RWMutex
+	rw.mode.Store(uint32(ModePark)) // force park mode
+	for i := 0; i < 2*DefaultEmptyLimit; i++ {
+		rw.Lock()
+		rw.Unlock()
+	}
+	if got := rw.Stats().Mode; got != ModeSpin {
+		t.Fatalf("mode = %v after uncontended writer releases, want spin", got)
+	}
+}
+
+// TestRWMutexInjectedPolicy: an always-switch policy flips the reader
+// protocol back to spin on the first reader-free writer release.
+func TestRWMutexInjectedPolicy(t *testing.T) {
+	rw := NewRWMutex(WithPolicy(policy.AlwaysSwitch{}))
+	rw.mode.Store(uint32(ModePark))
+	rw.Lock()
+	rw.Unlock()
+	if got := rw.Stats().Mode; got != ModeSpin {
+		t.Fatalf("mode = %v, want spin after one empty release under always-switch", got)
+	}
+}
+
+// TestRWMutexStressForcedModeSwitches hammers readers and writers while
+// the reader protocol is flipped in both directions, with a timeout guard
+// asserting no reader or writer is stranded by a Park→Spin transition.
+func TestRWMutexStressForcedModeSwitches(t *testing.T) {
+	rw := NewRWMutex(WithPollIters(2)) // park quickly
+	const writers, readers = 4, 16
+	iters := 300
+	if testing.Short() {
+		iters = 100
+	}
+	var wg sync.WaitGroup
+	counter := 0
+	stop := make(chan struct{})
+	var fwg sync.WaitGroup
+	fwg.Add(1)
+	go func() {
+		defer fwg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				rw.switchRWMode(ModeSpin, ModePark)
+			} else {
+				rw.switchRWMode(ModePark, ModeSpin)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rw.Lock()
+				counter++
+				rw.Unlock()
+			}
+		}()
+	}
+	var reads atomic.Int64
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rw.RLock()
+				reads.Add(1)
+				rw.RUnlock()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("stranded waiter across forced reader-protocol switches: %d/%d writes, %d/%d reads",
+			counter, writers*iters, reads.Load(), int64(readers*iters))
+	}
+	close(stop)
+	fwg.Wait()
+	if counter != writers*iters {
+		t.Fatalf("writes = %d, want %d", counter, writers*iters)
+	}
+}
