@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full bench lint
+.PHONY: all build test test-full bench bench-compare lint
 
 all: lint build test
 
@@ -22,6 +22,13 @@ test-full:
 # plus the machine-readable experiment-matrix results in bench_results.json.
 bench:
 	BENCH_RESULTS_JSON=$(CURDIR)/bench_results.json $(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Compare a fresh bench_results.json against the committed baseline
+# (bench_baseline.json): benchstat-style report via cmd/benchcmp, which
+# also invokes the real benchstat on the native sections when the tool
+# is installed. Mirrors CI's non-blocking bench-compare step.
+bench-compare: bench
+	$(GO) run ./cmd/benchcmp -old bench_baseline.json -new bench_results.json | tee bench_compare.txt
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi

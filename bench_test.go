@@ -274,7 +274,7 @@ func BenchmarkTable4_6_HalfB(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §5) ---
+// --- Ablations (DESIGN.md §6) ---
 
 func BenchmarkAblationOptimisticTAS(b *testing.B) {
 	for _, proto := range []string{"reactive", "reactive-nonoptimistic"} {
@@ -417,6 +417,72 @@ func BenchmarkNativeCounter(b *testing.B) {
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
 				c.Add(1)
+			}
+		})
+	})
+}
+
+// BenchmarkNativeFetchOp measures the N=3 fetch-op across its three
+// regimes, against the atomic.Int64 baseline: serial Applies (the CAS
+// protocol's regime), parallel write-only Applies (the sharded
+// protocol's regime), and parallel Applies with periodic reconciling
+// Values (the combining protocol's regime). The reported switches metric
+// confirms which protocol the accumulator settled in, so the
+// bench_results trajectory captures the three-way crossover.
+func BenchmarkNativeFetchOp(b *testing.B) {
+	add := func(a, x int64) int64 { return a + x }
+	b.Run("cas-regime/reactive", func(b *testing.B) {
+		f := reactive.NewFetchOp(add, 0)
+		for i := 0; i < b.N; i++ {
+			f.Apply(1)
+		}
+		b.ReportMetric(float64(f.Stats().Mode), "endmode")
+	})
+	b.Run("cas-regime/atomic.Int64", func(b *testing.B) {
+		var c atomic.Int64
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+		}
+	})
+	b.Run("sharded-regime/reactive", func(b *testing.B) {
+		f := reactive.NewFetchOp(add, 0)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				f.Apply(1)
+			}
+		})
+		b.ReportMetric(float64(f.Stats().Mode), "endmode")
+	})
+	b.Run("sharded-regime/atomic.Int64", func(b *testing.B) {
+		var c atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Add(1)
+			}
+		})
+	})
+	b.Run("combining-regime/reactive", func(b *testing.B) {
+		f := reactive.NewFetchOp(add, 0)
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				f.Apply(1)
+				if i++; i%64 == 0 {
+					f.Value()
+				}
+			}
+		})
+		b.ReportMetric(float64(f.Stats().Mode), "endmode")
+	})
+	b.Run("combining-regime/atomic.Int64", func(b *testing.B) {
+		var c atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				c.Add(1)
+				if i++; i%64 == 0 {
+					c.Load()
+				}
 			}
 		})
 	})

@@ -1,0 +1,214 @@
+// Benchcmp compares two bench_results.json documents — the
+// machine-readable experiment-matrix + native-primitive artifact the
+// bench job writes — and prints a benchstat-style report: per-experiment
+// table drift for the deterministic simulator results, and old/new/delta
+// ns/op for the wall-clock native-primitive measurements.
+//
+//	go run ./cmd/benchcmp -old bench_baseline.json -new bench_results.json
+//
+// The simulator tables are bit-deterministic at a fixed seed, so any
+// drift there is a real behavior change; the native section is
+// host-dependent wall-clock data, so its deltas are noise-prone and
+// reported for trend reading only (CI runs this as a non-blocking step).
+// When the benchstat tool is installed, the native sections are
+// additionally rendered to Go benchmark format and handed to it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// resultsDoc mirrors the experiment runner's jsonDoc, loosely: only the
+// fields the comparison needs.
+type resultsDoc struct {
+	Results []struct {
+		Name  string `json:"name"`
+		Error string `json:"error,omitempty"`
+		Table *struct {
+			Header []string   `json:"header"`
+			Rows   [][]string `json:"rows"`
+		} `json:"table,omitempty"`
+	} `json:"results"`
+	Native []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"native,omitempty"`
+}
+
+func load(path string) (*resultsDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc resultsDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "bench_baseline.json", "baseline results document")
+	newPath := flag.String("new", "bench_results.json", "fresh results document")
+	flag.Parse()
+
+	oldDoc, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	newDoc, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+
+	compareTables(oldDoc, newDoc)
+	fmt.Println()
+	compareNative(oldDoc, newDoc)
+	runBenchstat(oldDoc, newDoc)
+}
+
+// compareTables diffs the deterministic simulator section cell-by-cell.
+func compareTables(oldDoc, newDoc *resultsDoc) {
+	fmt.Println("== simulator matrix (deterministic; any drift is a behavior change) ==")
+	oldByName := map[string]int{}
+	for i, r := range oldDoc.Results {
+		oldByName[r.Name] = i
+	}
+	for _, nr := range newDoc.Results {
+		oi, ok := oldByName[nr.Name]
+		if !ok {
+			fmt.Printf("%-28s NEW (no baseline entry)\n", nr.Name)
+			continue
+		}
+		or := oldDoc.Results[oi]
+		delete(oldByName, nr.Name)
+		switch {
+		case nr.Error != "" || or.Error != "":
+			fmt.Printf("%-28s ERROR old=%q new=%q\n", nr.Name, or.Error, nr.Error)
+		case nr.Table == nil || or.Table == nil:
+			fmt.Printf("%-28s missing table\n", nr.Name)
+		default:
+			changed, maxDelta := diffTable(or.Table.Rows, nr.Table.Rows)
+			if changed == 0 {
+				fmt.Printf("%-28s identical\n", nr.Name)
+			} else {
+				fmt.Printf("%-28s %d cells differ (max numeric delta %+.1f%%)\n",
+					nr.Name, changed, maxDelta)
+			}
+		}
+	}
+	for name := range oldByName {
+		fmt.Printf("%-28s REMOVED (baseline only)\n", name)
+	}
+}
+
+// diffTable counts differing cells and tracks the largest relative
+// change between numeric cell pairs.
+func diffTable(oldRows, newRows [][]string) (changed int, maxDelta float64) {
+	rows := len(oldRows)
+	if len(newRows) > rows {
+		rows = len(newRows)
+	}
+	for i := 0; i < rows; i++ {
+		var o, n []string
+		if i < len(oldRows) {
+			o = oldRows[i]
+		}
+		if i < len(newRows) {
+			n = newRows[i]
+		}
+		cols := len(o)
+		if len(n) > cols {
+			cols = len(n)
+		}
+		for j := 0; j < cols; j++ {
+			var oc, nc string
+			if j < len(o) {
+				oc = o[j]
+			}
+			if j < len(n) {
+				nc = n[j]
+			}
+			if oc == nc {
+				continue
+			}
+			changed++
+			ov, oerr := strconv.ParseFloat(oc, 64)
+			nv, nerr := strconv.ParseFloat(nc, 64)
+			if oerr == nil && nerr == nil && ov != 0 {
+				if d := 100 * (nv - ov) / math.Abs(ov); math.Abs(d) > math.Abs(maxDelta) {
+					maxDelta = d
+				}
+			}
+		}
+	}
+	return changed, maxDelta
+}
+
+// compareNative prints old/new/delta ns/op for the wall-clock section.
+func compareNative(oldDoc, newDoc *resultsDoc) {
+	fmt.Println("== native primitives (wall-clock; trend reading only) ==")
+	fmt.Printf("%-36s %12s %12s %9s\n", "name", "old ns/op", "new ns/op", "delta")
+	oldByName := map[string]float64{}
+	for _, r := range oldDoc.Native {
+		oldByName[r.Name] = r.NsPerOp
+	}
+	for _, nr := range newDoc.Native {
+		ov, ok := oldByName[nr.Name]
+		if !ok {
+			fmt.Printf("%-36s %12s %12.2f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		delta := "~"
+		if ov != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(nr.NsPerOp-ov)/ov)
+		}
+		fmt.Printf("%-36s %12.2f %12.2f %9s\n", nr.Name, ov, nr.NsPerOp, delta)
+	}
+}
+
+// runBenchstat hands the native sections to benchstat when the tool is
+// installed (it consumes Go benchmark text format, so the sections are
+// rendered to temp files first); silently skipped otherwise.
+func runBenchstat(oldDoc, newDoc *resultsDoc) {
+	path, err := exec.LookPath("benchstat")
+	if err != nil {
+		fmt.Println("\n(benchstat not installed; built-in comparison only)")
+		return
+	}
+	dir, err := os.MkdirTemp("", "benchcmp")
+	if err != nil {
+		return
+	}
+	defer os.RemoveAll(dir)
+	render := func(doc *resultsDoc, name string) (string, error) {
+		var b strings.Builder
+		for _, r := range doc.Native {
+			// Benchmark names must be slash-separated identifiers.
+			b.WriteString("BenchmarkNativePrimitives/" + r.Name + " 1 " +
+				strconv.FormatFloat(r.NsPerOp, 'f', -1, 64) + " ns/op\n")
+		}
+		p := filepath.Join(dir, name)
+		return p, os.WriteFile(p, []byte(b.String()), 0o644)
+	}
+	oldFile, err1 := render(oldDoc, "old.txt")
+	newFile, err2 := render(newDoc, "new.txt")
+	if err1 != nil || err2 != nil {
+		return
+	}
+	fmt.Println("\n== benchstat (native sections) ==")
+	cmd := exec.Command(path, oldFile, newFile)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	_ = cmd.Run()
+}

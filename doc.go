@@ -9,7 +9,9 @@
 // See README.md for the layout, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The adoptable native-Go library lives in the reactive subpackage:
-// adaptive Mutex, Counter, and RWMutex primitives configured through an
-// Options API, with the protocol-switching policies both the library and
-// the simulator consume in reactive/policy.
+// adaptive Mutex, Counter, RWMutex, and FetchOp primitives configured
+// through an Options API. The generic N-mode modal-object engine every
+// mode change routes through — native and simulated alike — is
+// reactive/modal, and the protocol-switching policies both layers
+// consume are in reactive/policy.
 package repro

@@ -5,15 +5,20 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memsys"
 	"repro/internal/spinlock"
+	"repro/reactive/modal"
 	"repro/reactive/policy"
 )
 
-// Fetch-and-op mode values.
+// Fetch-and-op mode values. They double as the modal.Mode indices of the
+// fetch-and-op's 3-mode transition table.
 const (
 	fopTTS   uint64 = 0
 	fopQueue uint64 = 1
 	fopTree  uint64 = 2
 )
+
+// fopModeName names the fetch-and-op's modes for history checking.
+var fopModeName = [...]string{fopTTS: "tts", fopQueue: "queue", fopTree: "tree"}
 
 // reactiveTreePatience is the combining window of the reactive algorithm's
 // tree. It is much longer than the passive tree's default: a fresh tree
@@ -84,8 +89,33 @@ type ReactiveFetchOp struct {
 	emptyStreak []int
 	combineEMA  float64 // moving average of ops reaching the root together
 
+	// d routes detection events and transition validation through the
+	// shared modal-object state machine. The N=3 chain TTS ↔ queue ↔
+	// tree has no shortcut edges: the algorithm scales one protocol at a
+	// time, and the decider enforces it.
+	d      *modal.Decider
+	dResid [2]uint64 // residuals the current table was built with
+
 	// Check optionally records protocol changes for verification.
 	Check *HistoryChecker
+}
+
+// dec returns the fetch-and-op's modal decider over its 3-mode
+// transition table, rebuilding the table whenever the exported
+// Residual* tunables have changed so live tuning keeps working as it
+// did when residuals were read per call.
+func (f *ReactiveFetchOp) dec() *modal.Decider {
+	resid := [2]uint64{f.ResidualCheap, f.ResidualScalable}
+	if f.d == nil || f.dResid != resid {
+		f.dResid = resid
+		f.d = modal.NewDecider(modal.NewTable(3, []modal.Transition{
+			{From: modal.Mode(fopTTS), To: modal.Mode(fopQueue), Dir: dirScalable, Residual: f.ResidualCheap},
+			{From: modal.Mode(fopQueue), To: modal.Mode(fopTTS), Dir: dirCheap, Residual: f.ResidualCheap},
+			{From: modal.Mode(fopQueue), To: modal.Mode(fopTree), Dir: dirScalable, Residual: f.ResidualScalable},
+			{From: modal.Mode(fopTree), To: modal.Mode(fopQueue), Dir: dirCheap, Residual: f.ResidualCheap},
+		}), &f.Policy)
+	}
+	return f.d
 }
 
 // NewReactiveFetchOp builds a reactive fetch-and-op homed on node home with
@@ -179,7 +209,7 @@ func (f *ReactiveFetchOp) tryTTS(c machine.Context, delta uint64) (uint64, bool)
 			old := c.Read(f.central)
 			c.Write(f.central, old+delta)
 			if retries <= f.TTSRetryLimit {
-				f.Policy.Optimal(dirScalable)
+				f.dec().Optimal(modal.Mode(fopTTS), modal.Mode(fopQueue))
 			}
 			if switchOut {
 				f.changeTTSToQueue(c)
@@ -191,7 +221,7 @@ func (f *ReactiveFetchOp) tryTTS(c machine.Context, delta uint64) (uint64, bool)
 		retries++
 		if retries > f.TTSRetryLimit && !reported {
 			reported = true
-			if f.Policy.Suboptimal(dirScalable, f.ResidualCheap) {
+			if f.dec().Suboptimal(modal.Mode(fopTTS), modal.Mode(fopQueue)) {
 				switchOut = true
 			}
 		}
@@ -240,7 +270,7 @@ func (f *ReactiveFetchOp) tryQueue(c machine.Context, delta uint64) (uint64, boo
 		// Empty queue: low contention.
 		f.emptyStreak[p]++
 		if f.emptyStreak[p] > f.EmptyQueueLimit &&
-			f.Policy.Suboptimal(dirCheap, f.ResidualCheap) {
+			f.dec().Suboptimal(modal.Mode(fopQueue), modal.Mode(fopTTS)) {
 			f.emptyStreak[p] = 0
 			f.changeQueueToTTS(c, i)
 			return old, true
@@ -248,12 +278,12 @@ func (f *ReactiveFetchOp) tryQueue(c machine.Context, delta uint64) (uint64, boo
 	} else if waited > f.QueueWaitLimit {
 		// The FIFO wait time estimates contention; too long means the
 		// combining tree would do better (Section 3.3.2).
-		if f.Policy.Suboptimal(dirScalable, f.ResidualScalable) {
+		if f.dec().Suboptimal(modal.Mode(fopQueue), modal.Mode(fopTree)) {
 			f.changeQueueToTree(c, i)
 			return old, true
 		}
 	} else {
-		f.Policy.Optimal(dirScalable)
+		f.dec().Optimal(modal.Mode(fopQueue), modal.Mode(fopTree))
 	}
 	f.releaseQueue(c, i)
 	return old, true
@@ -271,11 +301,11 @@ func (f *ReactiveFetchOp) rootApply(c machine.Context, combined uint64, ops int)
 	c.Write(f.central, old+combined)
 	f.combineEMA = 0.9*f.combineEMA + 0.1*float64(ops)
 	if f.combineEMA < f.CombineRateMin {
-		if f.Policy.Suboptimal(dirCheap, f.ResidualCheap) {
+		if f.dec().Suboptimal(modal.Mode(fopTree), modal.Mode(fopQueue)) {
 			f.changeTreeToQueue(c)
 		}
 	} else {
-		f.Policy.Optimal(dirCheap)
+		f.dec().Optimal(modal.Mode(fopTree), modal.Mode(fopQueue))
 	}
 	return old, true
 }
@@ -287,14 +317,14 @@ func (f *ReactiveFetchOp) changeTTSToQueue(c machine.Context) {
 	f.acquireInvalidQueue(c, i)
 	c.Write(f.mode, fopQueue)
 	f.releaseQueue(c, i) // tts stays busy (= invalid)
-	f.finishChange(c, "tts", "queue")
+	f.finishChange(c, fopTTS, fopQueue)
 }
 
 func (f *ReactiveFetchOp) changeQueueToTTS(c machine.Context, i spinlock.QNode) {
 	c.Write(f.mode, fopTTS)
 	f.invalidateQueue(c, i)
 	c.Write(f.tts, 0)
-	f.finishChange(c, "queue", "tts")
+	f.finishChange(c, fopQueue, fopTTS)
 }
 
 func (f *ReactiveFetchOp) changeQueueToTree(c machine.Context, i spinlock.QNode) {
@@ -304,7 +334,7 @@ func (f *ReactiveFetchOp) changeQueueToTree(c machine.Context, i spinlock.QNode)
 	c.Write(f.tree.RootLock(), 0)
 	c.Write(f.mode, fopTree)
 	f.invalidateQueue(c, i) // waiters get INVALID and re-dispatch to the tree
-	f.finishChange(c, "queue", "tree")
+	f.finishChange(c, fopQueue, fopTree)
 }
 
 // changeTreeToQueue runs with the tree's root lock already held.
@@ -314,22 +344,24 @@ func (f *ReactiveFetchOp) changeTreeToQueue(c machine.Context) {
 	f.acquireInvalidQueue(c, i)
 	c.Write(f.mode, fopQueue)
 	f.releaseQueue(c, i)
-	f.finishChange(c, "tree", "queue")
+	f.finishChange(c, fopTree, fopQueue)
 }
 
-// finishChange records bookkeeping for a completed protocol change. The
-// changer holds both protocols' consensus objects across the transition, so
-// from other processes' perspective the validity swap is atomic; it is
-// recorded at a single serialization instant (the completion time).
-func (f *ReactiveFetchOp) finishChange(c machine.Context, from, to string) {
+// finishChange records bookkeeping for a completed protocol change,
+// validating the transition against the modal table (the decider panics
+// on an edge the table does not permit — e.g. a TTS↔tree shortcut). The
+// changer holds both protocols' consensus objects across the transition,
+// so from other processes' perspective the validity swap is atomic; it
+// is recorded at a single serialization instant (the completion time).
+func (f *ReactiveFetchOp) finishChange(c machine.Context, from, to uint64) {
 	f.Changes++
-	f.Policy.Switched()
+	f.dec().Switched(modal.Mode(from), modal.Mode(to))
 	if f.Check != nil {
 		now := c.Now()
-		f.Check.RecordValidity(from, now, false, c.ProcID())
-		f.Check.RecordValidity(to, now, true, c.ProcID())
-		f.Check.RecordInterval(from, ChangeInterval, c.ProcID(), now, now)
-		f.Check.RecordInterval(to, ChangeInterval, c.ProcID(), now, now)
+		f.Check.RecordValidity(fopModeName[from], now, false, c.ProcID())
+		f.Check.RecordValidity(fopModeName[to], now, true, c.ProcID())
+		f.Check.RecordInterval(fopModeName[from], ChangeInterval, c.ProcID(), now, now)
+		f.Check.RecordInterval(fopModeName[to], ChangeInterval, c.ProcID(), now, now)
 	}
 }
 

@@ -4,14 +4,19 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memsys"
 	"repro/internal/spinlock"
+	"repro/reactive/modal"
 	"repro/reactive/policy"
 )
 
-// Mode values for the reactive lock's mode variable.
+// Mode values for the reactive lock's mode variable. They double as the
+// modal.Mode indices of the lock's transition table.
 const (
 	modeTTS   uint64 = 0
 	modeQueue uint64 = 1
 )
+
+// lockModeName names the reactive lock's modes for history checking.
+var lockModeName = [...]string{modeTTS: "tts", modeQueue: "queue"}
 
 // Queue-node status values.
 const (
@@ -80,8 +85,33 @@ type ReactiveLock struct {
 
 	emptyStreak []int
 
+	// d routes detection events and transition validation through the
+	// shared modal-object state machine. The mode itself lives in
+	// simulated memory — the decider carries the pure transition logic,
+	// the memory effects stay here.
+	d      *modal.Decider
+	dResid [2]uint64 // residuals the current table was built with
+
 	// Check optionally records protocol changes for C-serial verification.
 	Check *HistoryChecker
+}
+
+// dec returns the lock's modal decider over the 2-mode transition table
+// (TTS ↔ queue, the thesis's reactive spin lock), rebuilding the table
+// whenever the exported Residual* tunables have changed so live tuning
+// keeps working as it did when residuals were read per call. The
+// simulator's event engine serializes all calls, so the unsynchronized
+// Decider is the right engine variant here.
+func (l *ReactiveLock) dec() *modal.Decider {
+	resid := [2]uint64{l.ResidualTTSHigh, l.ResidualQueueLow}
+	if l.d == nil || l.dResid != resid {
+		l.dResid = resid
+		l.d = modal.NewDecider(modal.NewTable(2, []modal.Transition{
+			{From: modal.Mode(modeTTS), To: modal.Mode(modeQueue), Dir: dirToQueue, Residual: l.ResidualTTSHigh},
+			{From: modal.Mode(modeQueue), To: modal.Mode(modeTTS), Dir: dirToTTS, Residual: l.ResidualQueueLow},
+		}), &l.Policy)
+	}
+	return l.d
 }
 
 // Handle is the per-acquisition state Release needs.
@@ -139,7 +169,7 @@ func (l *ReactiveLock) Acquire(c machine.Context) spinlock.Handle {
 		// Optimistically try the TTS lock before checking the mode
 		// variable: zero-contention fast path.
 		if c.TestAndSet(l.tts) == 0 {
-			l.Policy.Optimal(dirToQueue)
+			l.dec().Optimal(modal.Mode(modeTTS), modal.Mode(modeQueue))
 			return &Handle{rel: RelTTS, node: i}
 		}
 	}
@@ -181,7 +211,7 @@ func (l *ReactiveLock) acquireTTS(c machine.Context, i spinlock.QNode) *Handle {
 			if c.TestAndSet(l.tts) == 0 {
 				l.mean[p] = mean / 2
 				if retries <= l.TTSRetryLimit {
-					l.Policy.Optimal(dirToQueue)
+					l.dec().Optimal(modal.Mode(modeTTS), modal.Mode(modeQueue))
 				}
 				return &Handle{rel: rel, node: i}
 			}
@@ -191,7 +221,7 @@ func (l *ReactiveLock) acquireTTS(c machine.Context, i spinlock.QNode) *Handle {
 			// Contention detected: this acquisition is being served by a
 			// sub-optimal protocol. The policy decides whether to change.
 			reported = true
-			if l.Policy.Suboptimal(dirToQueue, l.ResidualTTSHigh) {
+			if l.dec().Suboptimal(modal.Mode(modeTTS), modal.Mode(modeQueue)) {
 				rel = RelTTSToQueue
 			}
 		}
@@ -217,7 +247,7 @@ func (l *ReactiveLock) acquireQueue(c machine.Context, i spinlock.QNode) *Handle
 		// contention observed.
 		l.emptyStreak[p]++
 		if l.emptyStreak[p] > l.EmptyQueueLimit {
-			if l.Policy.Suboptimal(dirToTTS, l.ResidualQueueLow) {
+			if l.dec().Suboptimal(modal.Mode(modeQueue), modal.Mode(modeTTS)) {
 				l.emptyStreak[p] = 0
 				return &Handle{rel: RelQueueToTTS, node: i}
 			}
@@ -235,7 +265,7 @@ func (l *ReactiveLock) acquireQueue(c machine.Context, i spinlock.QNode) *Handle
 			st = c.Read(i.Status())
 		}
 		if st == stGo {
-			l.Policy.Optimal(dirToTTS)
+			l.dec().Optimal(modal.Mode(modeQueue), modal.Mode(modeTTS))
 			return &Handle{rel: RelQueue, node: i}
 		}
 		return l.acquireTTS(c, i) // invalid signal: retry with TTS
@@ -278,7 +308,7 @@ func (l *ReactiveLock) releaseTTSToQueue(c machine.Context, i spinlock.QNode) {
 	c.Write(l.mode, modeQueue)
 	// Release the queue lock; the TTS lock is left busy (= invalid).
 	l.releaseQueue(c, i)
-	l.finishChange(c, "tts", "queue")
+	l.finishChange(c, modeTTS, modeQueue)
 }
 
 // releaseQueueToTTS performs the QUEUE→TTS protocol change (Figure 3.29).
@@ -287,22 +317,24 @@ func (l *ReactiveLock) releaseQueueToTTS(c machine.Context, i spinlock.QNode) {
 	c.Write(l.mode, modeTTS)
 	l.invalidateQueue(c, i)
 	c.Write(l.tts, 0)
-	l.finishChange(c, "queue", "tts")
+	l.finishChange(c, modeQueue, modeTTS)
 }
 
-// finishChange records bookkeeping for a completed protocol change. The
-// changer holds both protocols' consensus objects across the transition, so
-// from other processes' perspective the validity swap is atomic; it is
-// recorded at a single serialization instant (the completion time).
-func (l *ReactiveLock) finishChange(c machine.Context, from, to string) {
+// finishChange records bookkeeping for a completed protocol change,
+// validating the transition against the modal table (the decider panics
+// on an edge the table does not permit). The changer holds both
+// protocols' consensus objects across the transition, so from other
+// processes' perspective the validity swap is atomic; it is recorded at
+// a single serialization instant (the completion time).
+func (l *ReactiveLock) finishChange(c machine.Context, from, to uint64) {
 	l.Changes++
-	l.Policy.Switched()
+	l.dec().Switched(modal.Mode(from), modal.Mode(to))
 	if l.Check != nil {
 		now := c.Now()
-		l.Check.RecordValidity(from, now, false, c.ProcID())
-		l.Check.RecordValidity(to, now, true, c.ProcID())
-		l.Check.RecordInterval(from, ChangeInterval, c.ProcID(), now, now)
-		l.Check.RecordInterval(to, ChangeInterval, c.ProcID(), now, now)
+		l.Check.RecordValidity(lockModeName[from], now, false, c.ProcID())
+		l.Check.RecordValidity(lockModeName[to], now, true, c.ProcID())
+		l.Check.RecordInterval(lockModeName[from], ChangeInterval, c.ProcID(), now, now)
+		l.Check.RecordInterval(lockModeName[to], ChangeInterval, c.ProcID(), now, now)
 	}
 }
 

@@ -1,0 +1,176 @@
+package experiments
+
+// Native fetch-and-op modal experiments: deterministic drives of the
+// reactive/modal engine over the native FetchOp's 3-mode transition
+// shape (CAS ↔ sharded ↔ combining — the native analogue of the
+// simulator's TTS ↔ queue ↔ combining tree). Unlike the wall-clock
+// NativePrimitives measurements, these exercise the pure
+// protocol-selection state machine on a seeded synthetic contention
+// trace, so their tables are bit-deterministic and participate in the
+// registry's serial==parallel contract like every simulator experiment.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stats"
+	"repro/reactive"
+	"repro/reactive/modal"
+	"repro/reactive/policy"
+)
+
+// Native fetch-op engine mode indices (reactive.FetchOpTable's contract:
+// index i is the public mode reactive.ModeCAS + i).
+const (
+	nmCAS       modal.Mode = 0
+	nmSharded   modal.Mode = 1
+	nmCombining modal.Mode = 2
+)
+
+// modalPhase is one segment of the synthetic contention trace: p is the
+// probability that a step observes contention (a failed CAS in mode CAS,
+// a wide reconciling fan-in in mode sharded, a non-trivial batch in mode
+// combining).
+type modalPhase struct {
+	name  string
+	p     float64
+	steps int
+}
+
+func modalPhases(sz Sizes) []modalPhase {
+	steps := 120 * sz.BaselineIters
+	return []modalPhase{
+		{"idle", 0.02, steps},
+		{"ramp", 0.55, steps},
+		{"saturated", 0.97, steps},
+		{"cooldown", 0.55, steps},
+		{"quiet", 0.02, steps},
+	}
+}
+
+// modalTraceStats accumulates one engine drive.
+type modalTraceStats struct {
+	residency [3]int
+	switches  uint64
+}
+
+func (s *modalTraceStats) pct(m modal.Mode) string {
+	total := s.residency[0] + s.residency[1] + s.residency[2]
+	if total == 0 {
+		return "0.0"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(s.residency[m])/float64(total))
+}
+
+// modeName renders an engine mode with the public reactive mode names.
+func modeName(m modal.Mode) string { return (reactive.ModeCAS + reactive.Mode(m)).String() }
+
+// stepModalEngine feeds the engine one synthetic detection event drawn
+// from contention level p, emulating FetchOp's per-mode detection
+// wiring: contended CAS applies vote up, single-writer reconciliations
+// vote down, wide-fan-in reconciliations vote further up, and idle
+// combining sweeps vote back down. The streak limits are the package
+// defaults (SpinFailLimit for up-edges, EmptyLimit for down-edges);
+// with an injected policy the engine routes the same events to it.
+func stepModalEngine(e *modal.Engine, t *modal.Table, rng *rand.Rand, p float64) {
+	const (
+		failLimit  = reactive.DefaultSpinFailLimit
+		emptyLimit = reactive.DefaultEmptyLimit
+	)
+	u := rng.Float64()
+	switch e.Mode() {
+	case nmCAS:
+		if u < p {
+			if e.Vote(t, nmCAS, nmSharded, failLimit) {
+				e.TryCommit(t, nmCAS, nmSharded)
+			}
+		} else {
+			e.Good(t, nmCAS, nmSharded)
+		}
+	case nmSharded:
+		if u >= p {
+			if e.Vote(t, nmSharded, nmCAS, emptyLimit) {
+				e.TryCommit(t, nmSharded, nmCAS)
+			}
+		} else {
+			e.Good(t, nmSharded, nmCAS)
+			if u < p*p { // heavy tail: reconciliation swept a wide fan-in
+				if e.Vote(t, nmSharded, nmCombining, failLimit) {
+					e.TryCommit(t, nmSharded, nmCombining)
+				}
+			} else {
+				e.Good(t, nmSharded, nmCombining)
+			}
+		}
+	default:
+		if u < p {
+			e.Good(t, nmCombining, nmSharded)
+		} else if e.Vote(t, nmCombining, nmSharded, emptyLimit) {
+			e.TryCommit(t, nmCombining, nmSharded)
+		}
+	}
+}
+
+// NativeFopTrace tabulates the modal engine's protocol selection across
+// the contention trace, one row per phase: where the engine spent its
+// time and how many transitions each phase drove. The end-of-trace shape
+// mirrors the simulator's reactive fetch-and-op experiments: CAS at idle,
+// combining at saturation, and a return to CAS when contention subsides.
+func NativeFopTrace(sz Sizes) *stats.Table {
+	tab := reactive.FetchOpTable()
+	var e modal.Engine
+	rng := rand.New(rand.NewSource(int64(sz.Seed)))
+	t := &stats.Table{Header: []string{"phase", "contention", "end-mode", "%cas", "%sharded", "%combining", "switches"}}
+	for _, ph := range modalPhases(sz) {
+		var st modalTraceStats
+		before := e.Switches()
+		for i := 0; i < ph.steps; i++ {
+			stepModalEngine(&e, tab, rng, ph.p)
+			st.residency[e.Mode()]++
+		}
+		st.switches = e.Switches() - before
+		t.AddRow(ph.name, fmt.Sprintf("%.2f", ph.p), modeName(e.Mode()),
+			st.pct(nmCAS), st.pct(nmSharded), st.pct(nmCombining),
+			fmt.Sprintf("%d", st.switches))
+	}
+	return t
+}
+
+// NativeFopPolicies replays the same contention trace through the modal
+// engine once per switching policy, comparing how the built-in
+// hysteresis streaks and each injected policy.Policy track the N=3
+// protocol chain — the native counterpart of the simulator's
+// Figure 3.22/3.23 policy comparisons.
+func NativeFopPolicies(sz Sizes) *stats.Table {
+	pols := []struct {
+		name string
+		mk   func() policy.Policy
+	}{
+		{"builtin-streaks", func() policy.Policy { return nil }},
+		{"always", func() policy.Policy { return policy.AlwaysSwitch{} }},
+		{"3-competitive", func() policy.Policy {
+			return policy.NewCompetitive(3 * reactive.ResidualCheapHigh)
+		}},
+		{"hysteresis(3,8)", func() policy.Policy { return policy.NewHysteresis(3, 8) }},
+		{"weighted-average", func() policy.Policy { return policy.NewWeightedAverage(64, 192) }},
+	}
+	tab := reactive.FetchOpTable()
+	t := &stats.Table{Header: []string{"policy", "end-mode", "%cas", "%sharded", "%combining", "switches"}}
+	for _, pc := range pols {
+		var e modal.Engine
+		e.SetPolicy(pc.mk())
+		rng := rand.New(rand.NewSource(int64(sz.Seed)))
+		var st modalTraceStats
+		for _, ph := range modalPhases(sz) {
+			for i := 0; i < ph.steps; i++ {
+				stepModalEngine(&e, tab, rng, ph.p)
+				st.residency[e.Mode()]++
+			}
+		}
+		st.switches = e.Switches()
+		t.AddRow(pc.name, modeName(e.Mode()),
+			st.pct(nmCAS), st.pct(nmSharded), st.pct(nmCombining),
+			fmt.Sprintf("%d", st.switches))
+	}
+	return t
+}

@@ -52,9 +52,11 @@ func measureNative(name string, n int, fn func(per int)) NativeResult {
 	}
 }
 
-// NativePrimitives measures the reactive library's Mutex, Counter, and
-// RWMutex against sync.Mutex, atomic.Int64, and sync.RWMutex, uncontended
-// (one goroutine) and contended (2×GOMAXPROCS goroutines).
+// NativePrimitives measures the reactive library's Mutex, Counter,
+// RWMutex, and FetchOp against sync.Mutex, atomic.Int64, and
+// sync.RWMutex, uncontended (one goroutine) and contended (2×GOMAXPROCS
+// goroutines), plus a mixed update+read fetch-op workload exercising the
+// combining protocol's regime.
 func NativePrimitives() []NativeResult {
 	contenders := 2 * runtime.GOMAXPROCS(0)
 	if contenders < 2 {
@@ -108,6 +110,38 @@ func NativePrimitives() []NativeResult {
 				srw.RUnlock()
 			}
 		}))
+		rf := reactive.NewFetchOp(func(a, b int64) int64 { return a + b }, 0)
+		out = append(out, measureNative("fetchop/"+w.name+"/reactive", w.n, func(per int) {
+			for i := 0; i < per; i++ {
+				rf.Apply(1)
+			}
+		}))
+		var af atomic.Int64
+		out = append(out, measureNative("fetchop/"+w.name+"/atomic.Int64", w.n, func(per int) {
+			for i := 0; i < per; i++ {
+				af.Add(1)
+			}
+		}))
 	}
+	// Mixed update+read pressure: the regime FetchOp's combining protocol
+	// targets (heavy Applies with frequent reconciling Values).
+	rf := reactive.NewFetchOp(func(a, b int64) int64 { return a + b }, 0)
+	out = append(out, measureNative("fetchop/mixed/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			rf.Apply(1)
+			if i%64 == 0 {
+				rf.Value()
+			}
+		}
+	}))
+	var af atomic.Int64
+	out = append(out, measureNative("fetchop/mixed/atomic.Int64", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			af.Add(1)
+			if i%64 == 0 {
+				af.Load()
+			}
+		}
+	}))
 	return out
 }

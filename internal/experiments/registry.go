@@ -246,6 +246,21 @@ var Default = func() *Registry {
 		Run:    BarrierBaseline,
 	})
 
+	// Native modal engine: the reactive/modal state machine behind the
+	// native FetchOp's N=3 protocol chain, driven deterministically.
+	r.Register(Spec{
+		Name: "native-fetchop-trace", Figure: "Extension (modal engine)", Tool: ToolReactsim,
+		Title:  "Extension: native fetch-op modal engine over a contention trace (CAS ↔ sharded ↔ combining)",
+		Groups: []string{"native"},
+		Run:    NativeFopTrace,
+	})
+	r.Register(Spec{
+		Name: "native-fetchop-policies", Figure: "Extension (modal engine)", Tool: ToolReactsim,
+		Title:  "Extension: switching policies on the native fetch-op modal engine",
+		Groups: []string{"native"},
+		Run:    NativeFopPolicies,
+	})
+
 	// Chapter 4: waiting algorithms (waitsim).
 	r.Register(Spec{
 		Name: "table4.1-blocking", Figure: "Table 4.1", Tool: ToolWaitsim,

@@ -17,12 +17,12 @@ func TestSpinDetectionMatchesDocumentedStreak(t *testing.T) {
 	var m Mutex
 	for i := 0; i < DefaultSpinFailLimit-1; i++ {
 		m.noteSpinAcquire(1)
-		if got := Mode(m.mode.Load()); got != ModeSpin {
+		if got := Mode(m.eng.Mode()); got != ModeSpin {
 			t.Fatalf("switched after %d contended acquisitions, want %d", i+1, DefaultSpinFailLimit)
 		}
 	}
 	m.noteSpinAcquire(1)
-	if got := Mode(m.mode.Load()); got != ModePark {
+	if got := Mode(m.eng.Mode()); got != ModePark {
 		t.Fatalf("mode = %v after %d consecutive contended acquisitions, want park", got, DefaultSpinFailLimit)
 	}
 	if m.Stats().Switches != 1 {
@@ -40,7 +40,7 @@ func TestSpinDetectionStreakBroken(t *testing.T) {
 		}
 		m.noteSpinAcquire(0) // uncontended: break the streak
 	}
-	if got := Mode(m.mode.Load()); got != ModeSpin {
+	if got := Mode(m.eng.Mode()); got != ModeSpin {
 		t.Fatalf("mode = %v after broken streaks, want spin", got)
 	}
 }
@@ -51,7 +51,7 @@ func TestSpinDetectionStreakBroken(t *testing.T) {
 func TestSpinDetectionSingleFailureCounts(t *testing.T) {
 	m := New(WithSpinFailLimit(1))
 	m.noteSpinAcquire(1)
-	if got := Mode(m.mode.Load()); got != ModePark {
+	if got := Mode(m.eng.Mode()); got != ModePark {
 		t.Fatalf("mode = %v with SpinFailLimit=1 after one contended acquisition, want park", got)
 	}
 }
@@ -99,7 +99,7 @@ func TestOptionsConfigureThresholds(t *testing.T) {
 func TestInjectedPolicyAlwaysSwitch(t *testing.T) {
 	m := New(WithPolicy(policy.AlwaysSwitch{}))
 	m.noteSpinAcquire(1)
-	if got := Mode(m.mode.Load()); got != ModePark {
+	if got := Mode(m.eng.Mode()); got != ModePark {
 		t.Fatalf("mode = %v after one contended acquisition under always-switch, want park", got)
 	}
 }
@@ -112,11 +112,11 @@ func TestInjectedPolicyCompetitive(t *testing.T) {
 	m.noteSpinAcquire(1)
 	m.noteSpinAcquire(0) // streak break: competitive must not care
 	m.noteSpinAcquire(1)
-	if got := Mode(m.mode.Load()); got != ModeSpin {
+	if got := Mode(m.eng.Mode()); got != ModeSpin {
 		t.Fatal("switched before cumulative residual crossed the threshold")
 	}
 	m.noteSpinAcquire(1)
-	if got := Mode(m.mode.Load()); got != ModePark {
+	if got := Mode(m.eng.Mode()); got != ModePark {
 		t.Fatalf("mode = %v after residual crossed threshold, want park", got)
 	}
 }
@@ -127,11 +127,11 @@ func TestInjectedPolicyCompetitive(t *testing.T) {
 func TestDetectorRequiesces(t *testing.T) {
 	m := New(WithPolicy(policy.NewHysteresis(3, 3)))
 	m.noteSpinAcquire(1)
-	if !m.det.dirty.Load() {
+	if !m.eng.Dirty() {
 		t.Fatal("dirty not set by a sub-optimal vote")
 	}
 	m.noteSpinAcquire(0) // optimal: hysteresis resets, policy quiescent
-	if m.det.dirty.Load() {
+	if m.eng.Dirty() {
 		t.Fatal("dirty not cleared after the policy re-quiesced")
 	}
 }
@@ -142,7 +142,7 @@ func TestInjectedPolicyDrivesBothDirections(t *testing.T) {
 	m := New(WithPolicy(policy.NewHysteresis(2, 3)))
 	m.noteSpinAcquire(1)
 	m.noteSpinAcquire(1)
-	if got := Mode(m.mode.Load()); got != ModePark {
+	if got := Mode(m.eng.Mode()); got != ModePark {
 		t.Fatalf("mode = %v, want park", got)
 	}
 	// Three uncontended unlocks in park mode switch back.
@@ -150,7 +150,7 @@ func TestInjectedPolicyDrivesBothDirections(t *testing.T) {
 		m.Lock()
 		m.Unlock()
 	}
-	if got := Mode(m.mode.Load()); got != ModeSpin {
+	if got := Mode(m.eng.Mode()); got != ModeSpin {
 		t.Fatalf("mode = %v after uncontended park-mode unlocks, want spin", got)
 	}
 	if m.Stats().Switches != 2 {

@@ -1,221 +1,44 @@
 package reactive
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
-
-// Counter is a reactive fetch-and-add counter — the native analogue of the
-// thesis's reactive fetch-and-op. Under low contention it is a single
-// shared word updated by compare-and-swap (ModeCAS, the TTS-lock-protected
-// variable of Section 3.1.2 collapsed to one atomic); under high
-// contention it shards updates across per-processor cells (ModeSharded,
-// the combining-tree analogue: parallel updates at the cost of a
-// reconciling read). Load reconciles the cells back into the base word and
-// is where the return to ModeCAS is detected.
+// Counter is a reactive fetch-and-add counter: the add-only
+// specialization of FetchOp (operation +, identity 0), with the
+// specialized atomic-add fast paths that operation enables. Under low
+// contention it is a single shared word updated by compare-and-swap
+// (ModeCAS); under update contention it shards across per-processor
+// cells reconciled by Load (ModeSharded); and when heavy updates meet
+// frequent reconciling Loads it batch-folds the cells into the shared
+// word (ModeCombining). All three protocols and the transitions between
+// them are FetchOp's — see its documentation for the protocol and
+// detection details.
 //
 // The zero value is a zero Counter in CAS mode with the package-default
 // tunables; NewCounter builds one with explicit Options. A Counter must
 // not be copied after first use.
 type Counter struct {
-	base atomic.Int64  // CAS-mode value, and the sharded-mode reconciliation target
-	mode atomic.Uint32 // 0 = ModeCAS, 1 = ModeSharded (see Stats)
-
-	cells      []counterCell // sharded-mode cells (lazily created)
-	cellsOnce  sync.Once
-	cellsBuilt atomic.Bool
-	loadLock   atomic.Uint32 // serializes reconciling Loads
-
-	det detector
-	cfg config
-
-	switches atomic.Uint64
+	f FetchOp // zero op = addition, identity 0
 }
-
-// counterCell is one sharded-mode cell, padded to its own cache line so
-// cells assigned to different processors do not false-share.
-type counterCell struct {
-	v atomic.Int64
-	_ [56]byte
-}
-
-// Internal mode-word values (the zero value must be the cheap protocol).
-const (
-	cmodeCAS     uint32 = 0
-	cmodeSharded uint32 = 1
-)
-
-// stripe is a goroutine's cached cell assignment. Stripes live in a
-// sync.Pool, whose per-P caches give Add the processor affinity the Go
-// runtime does not expose directly: a goroutine usually gets back a stripe
-// last used on its current P, so cells behave like per-P counters.
-type stripe struct{ idx uint32 }
-
-var stripeSeq atomic.Uint32
-
-var stripePool = sync.Pool{New: func() any {
-	return &stripe{idx: stripeSeq.Add(1)}
-}}
 
 // NewCounter builds a Counter configured by opts. NewCounter() with no
-// options is equivalent to a zero-value Counter. WithPollIters is accepted
-// but unused: Counter never parks.
+// options is equivalent to a zero-value Counter. WithPollIters is
+// accepted but unused: Counter never parks.
 func NewCounter(opts ...Option) *Counter {
 	c := &Counter{}
-	c.cfg.apply(opts)
-	c.det.pol = c.cfg.pol
+	c.f.cfg.apply(opts)
+	c.f.eng.SetPolicy(c.f.cfg.pol)
 	return c
 }
 
 // Stats returns a snapshot of the counter's adaptive state.
-func (c *Counter) Stats() Stats {
-	return Stats{Mode: ModeCAS + Mode(c.mode.Load()), Switches: c.switches.Load()}
-}
-
-// shardCells returns the cell array, creating it on first use. The array
-// is sized to the next power of two ≥ GOMAXPROCS at creation time.
-func (c *Counter) shardCells() []counterCell {
-	c.cellsOnce.Do(func() {
-		n := 2
-		for n < runtime.GOMAXPROCS(0) {
-			n *= 2
-		}
-		c.cells = make([]counterCell, n)
-		c.cellsBuilt.Store(true)
-	})
-	return c.cells
-}
-
-// builtCells returns the cell array if it has ever been created, else nil.
-func (c *Counter) builtCells() []counterCell {
-	if !c.cellsBuilt.Load() {
-		return nil
-	}
-	return c.cells
-}
+func (c *Counter) Stats() Stats { return c.f.Stats() }
 
 // Add atomically adds delta to the counter, adapting its protocol to
 // contention.
-func (c *Counter) Add(delta int64) {
-	if c.mode.Load() == cmodeCAS {
-		// Cheap protocol fast path: one CAS on the shared word.
-		v := c.base.Load()
-		if c.base.CompareAndSwap(v, v+delta) {
-			c.det.good(dirScaleUp)
-			return
-		}
-		c.addContended(delta)
-		return
-	}
-	c.addSharded(delta)
-}
+func (c *Counter) Add(delta int64) { c.f.Apply(delta) }
 
-// addContended retries the CAS-mode update after a failed first attempt —
-// a contended Add — and runs the cheap→scalable detection on completion.
-func (c *Counter) addContended(delta int64) {
-	backoff := 1
-	for {
-		if c.mode.Load() != cmodeCAS {
-			c.addSharded(delta)
-			return
-		}
-		v := c.base.Load()
-		if c.base.CompareAndSwap(v, v+delta) {
-			c.noteContendedAdd()
-			return
-		}
-		for i := 0; i < backoff; i++ {
-			runtime.Gosched()
-		}
-		if backoff < 16 {
-			backoff *= 2
-		}
-	}
-}
+// Load returns the current count, reconciling any sharded cells; see
+// FetchOp.Value for the reconciliation and detection semantics.
+func (c *Counter) Load() int64 { return c.f.Value() }
 
 // noteContendedAdd records one contended CAS-mode Add with the detection
-// machinery: SpinFailLimit consecutive contended Adds (built-in detection)
-// or the injected policy's say-so switch ModeCAS → ModeSharded.
-func (c *Counter) noteContendedAdd() {
-	if c.det.vote(dirScaleUp, ResidualCheapHigh, c.cfg.failLimit()) {
-		c.switchCounterMode(cmodeCAS, cmodeSharded)
-	}
-}
-
-// addSharded applies delta to this goroutine's cell. Cell updates are
-// uncontended atomic adds in the common case: the stripe pool hands each P
-// its own recently-used cell index.
-func (c *Counter) addSharded(delta int64) {
-	cells := c.shardCells()
-	s := stripePool.Get().(*stripe)
-	cells[int(s.idx)&(len(cells)-1)].v.Add(delta)
-	stripePool.Put(s)
-}
-
-// Load returns the current count. Once the counter has ever sharded,
-// Load reconciles permanently: every cell's pending delta is folded into
-// the base word, and the number of distinct cells that accumulated
-// updates since the previous reconciliation is the contention signal —
-// EmptyLimit consecutive Loads observing at most one active writer cell
-// switch ModeSharded → ModeCAS. The permanent sweep is deliberate: an
-// Add that observed sharded mode may deposit into a cell arbitrarily
-// late, so no post-burst Load may skip the cells without risking an
-// undercount. Add's fast path is unaffected; only Load pays. Under
-// concurrent Adds, Load returns a value that was correct at some instant
-// during the call (the same guarantee sync/atomic-style sharded counters
-// give).
-func (c *Counter) Load() int64 {
-	cells := c.builtCells()
-	if cells == nil {
-		return c.base.Load()
-	}
-	// Reconciliations are serialized: a concurrent Load must not read the
-	// base while another Load holds harvested-but-unfolded cell values
-	// (it would undercount), and a trailing Load sweeping just-zeroed
-	// cells must not mistake the empty sweep for low contention.
-	for !c.loadLock.CompareAndSwap(0, 1) {
-		runtime.Gosched()
-	}
-	defer c.loadLock.Store(0)
-	var moved int64
-	active := 0
-	for i := range cells {
-		if v := cells[i].v.Swap(0); v != 0 {
-			moved += v
-			active++
-		}
-	}
-	sum := c.base.Load()
-	if moved != 0 {
-		sum = c.base.Add(moved)
-	}
-	if c.mode.Load() == cmodeSharded {
-		if active <= 1 {
-			// At most one writer since the last reconciliation: the
-			// sharded protocol is sub-optimal for this load level.
-			if c.det.vote(dirScaleDown, ResidualScalableLow, c.cfg.emptyLim()) {
-				c.switchCounterMode(cmodeSharded, cmodeCAS)
-			}
-		} else {
-			c.det.good(dirScaleDown)
-		}
-	}
-	return sum
-}
-
-// switchCounterMode performs a protocol change from want to next, at most
-// once per detection round. No state copying is needed in either
-// direction: Load always sums base plus cells, so Adds racing with the
-// change land in whichever protocol they observed and are never lost.
-func (c *Counter) switchCounterMode(want, next uint32) {
-	if next == cmodeSharded {
-		// Build the cells before publishing the mode so sharded Adds
-		// never observe a nil array.
-		c.shardCells()
-	}
-	if c.mode.CompareAndSwap(want, next) {
-		c.switches.Add(1)
-		c.det.switched()
-	}
-}
+// machinery (test hook shared with the forced-mode-switch stress tests).
+func (c *Counter) noteContendedAdd() { c.f.noteContendedApply() }

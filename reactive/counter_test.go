@@ -3,9 +3,11 @@ package reactive
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/reactive/modal"
 	"repro/reactive/policy"
 )
 
@@ -149,6 +151,84 @@ func TestCounterConcurrentMixed(t *testing.T) {
 	}
 	close(stop)
 	lwg.Wait()
+	if got := c.Load(); got != goroutines*int64(iters) {
+		t.Fatalf("Load = %d, want %d", got, goroutines*int64(iters))
+	}
+}
+
+// TestCounterLoadRacesModeSwitches pins the reconciliation/consensus
+// race: goroutines hammer Add while a forcer flips the counter across
+// every edge of the fetch-op transition chain and a dedicated reader
+// drives reconciling Loads the whole time, under the race detector when
+// enabled. A Load racing a sharded→CAS (or combining→sharded) commit
+// must neither lose a cell's pending delta nor double-count one, and no
+// Add may strand; the timeout guard matches the PR 2 stress pattern.
+func TestCounterLoadRacesModeSwitches(t *testing.T) {
+	c := NewCounter()
+	const goroutines = 16
+	iters := 4000
+	if testing.Short() {
+		iters = 1000
+	}
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() { // forcer: walk the transition chain in both directions
+		defer aux.Done()
+		edges := []struct{ from, to modal.Mode }{
+			{fCAS, fSharded}, {fSharded, fCAS},
+			{fSharded, fCombining}, {fCombining, fSharded},
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e := edges[i%len(edges)]
+			c.f.switchFop(e.from, e.to)
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+	var lastSeen atomic.Int64
+	go func() { // reconciling reader racing the commits
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				v := c.Load()
+				if prev := lastSeen.Load(); v < prev {
+					t.Errorf("Load went backwards under monotone Adds: %d after %d", v, prev)
+					return
+				} else {
+					lastSeen.Store(v)
+				}
+				runtime.Gosched()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		close(stop)
+		t.Fatal("stranded adder: Adds did not complete across forced mode switches")
+	}
+	close(stop)
+	aux.Wait()
 	if got := c.Load(); got != goroutines*int64(iters) {
 		t.Fatalf("Load = %d, want %d", got, goroutines*int64(iters))
 	}

@@ -2,6 +2,7 @@ package reactive_test
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/reactive"
@@ -74,6 +75,37 @@ func ExampleCounter() {
 
 	fmt.Println(hits.Load())
 	// Output: 8000
+}
+
+// ExampleFetchOp shows the generic reactive fetch-and-op: any
+// associative, commutative operation with an identity element gets the
+// same three-protocol adaptivity as Counter (its add-only
+// specialization) — a single CAS word uncontended, per-processor sharded
+// cells under update contention, batched combining when heavy updates
+// meet frequent reads. Here: a concurrent peak (running max) tracker.
+func ExampleFetchOp() {
+	peak := reactive.NewFetchOp(func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}, math.MinInt64)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				peak.Apply(int64(g*1000 + i))
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Println(peak.Value())
+	// Output: 7999
 }
 
 // ExampleRWMutex shows the adaptive reader/writer lock: readers spin when

@@ -1,0 +1,391 @@
+package reactive
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/reactive/modal"
+)
+
+// Engine-local mode indices for the fetch-and-op modal object (FetchOp,
+// Counter). The public Stats mapping is ModeCAS + index.
+const (
+	fCAS       modal.Mode = 0
+	fSharded   modal.Mode = 1
+	fCombining modal.Mode = 2
+)
+
+// fopTable is the 3-mode transition table of the native fetch-and-op,
+// mirroring the simulator's reactive fetch-and-op (Appendix C): a chain
+// from the cheap single-word protocol through the sharded middle
+// protocol to batched combining, with no shortcut edges — a primitive
+// scales up and down one protocol at a time, exactly as the simulated
+// algorithm moves TTS ↔ queue ↔ combining tree.
+var fopTable = modal.NewTable(3, []modal.Transition{
+	{From: fCAS, To: fSharded, Dir: dirScaleUp, Residual: ResidualCheapHigh},
+	{From: fSharded, To: fCAS, Dir: dirScaleDown, Residual: ResidualScalableLow},
+	{From: fSharded, To: fCombining, Dir: dirScaleUp, Residual: ResidualCheapHigh},
+	{From: fCombining, To: fSharded, Dir: dirScaleDown, Residual: ResidualScalableLow},
+})
+
+// FetchOpTable returns the transition table FetchOp and Counter run on:
+// mode index 0 = ModeCAS, 1 = ModeSharded, 2 = ModeCombining (mode index
+// i is the public mode ModeCAS + i). The table is immutable and shared;
+// it is exported so harnesses and experiments can drive the exact state
+// machine the primitives use rather than a hand-maintained copy.
+func FetchOpTable() *modal.Table { return fopTable }
+
+// combineBatchPerCell scales the combining protocol's batch window: a
+// fold of the cells into the shared word is triggered once
+// combineBatchPerCell × len(cells) operations have accumulated since the
+// last fold (the native analogue of the combining tree's patience
+// window).
+const combineBatchPerCell = 2
+
+// FetchOp is a reactive fetch-and-op accumulator — the native analogue
+// of the thesis's reactive fetch-and-op, and the first N>2 modal object
+// in this package. It folds operands into a single value under a
+// user-supplied associative, commutative operation with an identity
+// element (fetch&add with op = +, identity 0; running max with op = max,
+// identity MinInt64; bitwise-or with identity 0; ...), selecting among
+// three protocols as contention changes:
+//
+//   - ModeCAS — one shared word updated by compare-and-swap. Cheapest
+//     uncontended; collapses under update contention.
+//   - ModeSharded — operands land in per-processor cells; only Value
+//     reconciles them into the shared word. Updates scale, but every
+//     Value pays a full serialized sweep — best when reads are rare.
+//   - ModeCombining — operands still land in cells, but updaters fold
+//     the cells into the shared word in batches once enough operations
+//     accumulate, so the shared word is touched once per batch and Value
+//     stays cheap — best when heavy updates meet frequent reads.
+//
+// The transition chain (CAS ↔ sharded ↔ combining, no shortcuts) mirrors
+// the simulator's reactive fetch-and-op (TTS lock ↔ queue lock ↔
+// combining tree) and runs on the same reactive/modal engine. Counter is
+// the add-only specialization of this type.
+//
+// FetchOp accumulates; it does not return per-operation fetch values
+// (the sharded and combining protocols deliberately avoid serializing
+// updates, so no global per-operation order exists to fetch from). Use
+// Value to read the accumulated result.
+//
+// NewFetchOp builds one; the zero value is not useful (it has no
+// operation) — except through Counter, whose zero value specializes the
+// zero FetchOp to addition. A FetchOp must not be copied after first
+// use.
+type FetchOp struct {
+	op func(a, b int64) int64 // nil: addition (Counter's specialization)
+	id int64                  // op's identity element
+
+	base atomic.Int64 // CAS-mode value, and the cells' reconciliation target
+
+	// eng is the modal-object engine holding the epoch-packed mode word;
+	// every protocol change goes through its consensus CAS against
+	// fopTable.
+	eng modal.Engine
+
+	cells      []fopCell // cell array (lazily created; cells hold id when empty)
+	cellsOnce  sync.Once
+	cellsBuilt atomic.Bool
+	loadLock   atomic.Uint32 // serializes reconciling sweeps by Value
+
+	pending  atomic.Int64  // combining mode: deposits since the last sweep
+	combLock atomic.Uint32 // serializes batch folds by updaters
+
+	cfg config
+}
+
+// fopCell is one cell, padded to its own cache line so cells assigned to
+// different processors do not false-share.
+type fopCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// stripe is a goroutine's cached cell assignment. Stripes live in a
+// sync.Pool, whose per-P caches give updates the processor affinity the
+// Go runtime does not expose directly: a goroutine usually gets back a
+// stripe last used on its current P, so cells behave like per-P
+// accumulators.
+type stripe struct{ idx uint32 }
+
+var stripeSeq atomic.Uint32
+
+var stripePool = sync.Pool{New: func() any {
+	return &stripe{idx: stripeSeq.Add(1)}
+}}
+
+// NewFetchOp builds a FetchOp over op and its identity element,
+// configured by opts. op must be associative and commutative and may be
+// called concurrently; identity must satisfy op(identity, x) == x.
+// WithPollIters is accepted but unused: FetchOp never parks.
+func NewFetchOp(op func(a, b int64) int64, identity int64, opts ...Option) *FetchOp {
+	if op == nil {
+		panic("reactive: NewFetchOp requires an operation (use Counter for plain addition)")
+	}
+	f := &FetchOp{op: op, id: identity}
+	f.cfg.apply(opts)
+	f.eng.SetPolicy(f.cfg.pol)
+	return f
+}
+
+// comb applies the operation (addition when op is nil).
+func (f *FetchOp) comb(a, b int64) int64 {
+	if f.op == nil {
+		return a + b
+	}
+	return f.op(a, b)
+}
+
+// Stats returns a snapshot of the accumulator's adaptive state.
+func (f *FetchOp) Stats() Stats {
+	return Stats{Mode: ModeCAS + Mode(f.eng.Mode()), Switches: f.eng.Switches()}
+}
+
+// shardCells returns the cell array, creating it on first use. The array
+// is sized to the next power of two ≥ GOMAXPROCS at creation time, and
+// every cell starts at the identity element.
+func (f *FetchOp) shardCells() []fopCell {
+	f.cellsOnce.Do(func() {
+		n := 2
+		for n < runtime.GOMAXPROCS(0) {
+			n *= 2
+		}
+		cells := make([]fopCell, n)
+		if f.id != 0 {
+			for i := range cells {
+				cells[i].v.Store(f.id)
+			}
+		}
+		f.cells = cells
+		f.cellsBuilt.Store(true)
+	})
+	return f.cells
+}
+
+// builtCells returns the cell array if it has ever been created, else nil.
+func (f *FetchOp) builtCells() []fopCell {
+	if !f.cellsBuilt.Load() {
+		return nil
+	}
+	return f.cells
+}
+
+// Apply folds x into the accumulator, adapting its protocol to
+// contention.
+func (f *FetchOp) Apply(x int64) {
+	switch f.eng.Mode() {
+	case fCAS:
+		// Cheap protocol fast path: one CAS on the shared word.
+		v := f.base.Load()
+		if f.base.CompareAndSwap(v, f.comb(v, x)) {
+			f.eng.Good(fopTable, fCAS, fSharded)
+			return
+		}
+		f.applyContended(x)
+	case fSharded:
+		f.applyCell(x)
+	default:
+		f.applyCombining(x)
+	}
+}
+
+// applyContended retries the CAS-mode update after a failed first
+// attempt — a contended Apply — and runs the cheap→scalable detection on
+// completion.
+func (f *FetchOp) applyContended(x int64) {
+	var bo modal.Backoff
+	bo.Max = 16
+	for {
+		if f.eng.Mode() != fCAS {
+			f.Apply(x) // mode changed under us: redispatch
+			return
+		}
+		v := f.base.Load()
+		if f.base.CompareAndSwap(v, f.comb(v, x)) {
+			f.noteContendedApply()
+			return
+		}
+		bo.Pause()
+	}
+}
+
+// noteContendedApply records one contended CAS-mode Apply with the
+// detection machinery: SpinFailLimit consecutive contended Applies
+// (built-in detection) or the injected policy's say-so switch ModeCAS →
+// ModeSharded.
+func (f *FetchOp) noteContendedApply() {
+	if f.eng.Vote(fopTable, fCAS, fSharded, f.cfg.failLimit()) {
+		f.switchFop(fCAS, fSharded)
+	}
+}
+
+// applyCell folds x into this goroutine's cell. Cell updates are
+// uncontended in the common case: the stripe pool hands each P its own
+// recently-used cell index.
+func (f *FetchOp) applyCell(x int64) {
+	cells := f.shardCells()
+	s := stripePool.Get().(*stripe)
+	c := &cells[int(s.idx)&(len(cells)-1)]
+	if f.op == nil {
+		c.v.Add(x)
+	} else {
+		for {
+			v := c.v.Load()
+			if c.v.CompareAndSwap(v, f.op(v, x)) {
+				break
+			}
+		}
+	}
+	stripePool.Put(s)
+}
+
+// applyCombining is the combining protocol's update: deposit into a cell
+// like the sharded protocol, then fold the cells into the shared word
+// once a batch has accumulated — the depositor that crosses the batch
+// threshold becomes the combiner, so folding cost is amortized over the
+// batch and no dedicated combiner thread exists.
+func (f *FetchOp) applyCombining(x int64) {
+	f.applyCell(x)
+	if f.pending.Add(1) >= f.combineBatch() && f.combLock.CompareAndSwap(0, 1) {
+		n := f.pending.Swap(0)
+		f.foldCells()
+		f.combLock.Store(0)
+		// n == 0 means a racing Value stole the pending count between the
+		// threshold check and the swap; the batch was full, so recording
+		// an idle-sweep vote here would be spurious detection noise.
+		if n > 0 {
+			f.noteCombineBatch(n)
+		}
+	}
+}
+
+func (f *FetchOp) combineBatch() int64 {
+	return combineBatchPerCell * int64(len(f.shardCells()))
+}
+
+// foldCells sweeps every cell into the shared word. Safe under either
+// the combLock or the loadLock: each cell's Swap hands its accumulated
+// value to exactly one sweeper, and the fold into base is atomic, so
+// concurrent sweeps cannot lose or double-count an operand.
+func (f *FetchOp) foldCells() (active int) {
+	cells := f.shardCells()
+	moved := f.id
+	any := false
+	for i := range cells {
+		if v := cells[i].v.Swap(f.id); v != f.id {
+			moved = f.comb(moved, v)
+			active++
+			any = true
+		}
+	}
+	if any {
+		if f.op == nil {
+			f.base.Add(moved)
+		} else {
+			for {
+				v := f.base.Load()
+				if f.base.CompareAndSwap(v, f.op(v, moved)) {
+					break
+				}
+			}
+		}
+	}
+	return active
+}
+
+// noteCombineBatch runs the combining protocol's detection on one sweep
+// that found n deposits pending: a batch of at most one means the
+// combining machinery is idling (EmptyLimit consecutive such sweeps
+// retire it to the sharded protocol); a real batch breaks the streak.
+// This is the native analogue of the simulator's combining-rate monitor.
+func (f *FetchOp) noteCombineBatch(n int64) {
+	if n <= 1 {
+		if f.eng.Vote(fopTable, fCombining, fSharded, f.cfg.emptyLim()) {
+			f.switchFop(fCombining, fSharded)
+		}
+	} else {
+		f.eng.Good(fopTable, fCombining, fSharded)
+	}
+}
+
+// Value returns the accumulated result. Once the accumulator has ever
+// left ModeCAS, Value reconciles permanently: every cell's pending
+// operand is folded into the shared word, and what the sweep observes is
+// the contention signal — the number of distinct active cells in the
+// sharded protocol (≤1 active writer votes down toward CAS, a sweep
+// touching at least half the cells votes up toward combining), the
+// pending-deposit count in the combining protocol (see noteCombineBatch).
+// The permanent sweep is deliberate: an update that observed a
+// cell-based mode may deposit into a cell arbitrarily late, so no
+// post-burst Value may skip the cells without risking a lost operand.
+// Update fast paths are unaffected; only Value pays. Under concurrent
+// updates, Value returns a value that was correct at some instant during
+// the call (the same guarantee sync/atomic-style sharded counters give).
+func (f *FetchOp) Value() int64 {
+	cells := f.builtCells()
+	if cells == nil {
+		return f.base.Load()
+	}
+	// Reconciliations are serialized: a concurrent Value must not read
+	// the base while another Value holds harvested-but-unfolded cell
+	// values (it would miss them), and a trailing Value sweeping
+	// just-emptied cells must not mistake the empty sweep for low
+	// contention.
+	var bo modal.Backoff
+	bo.Max = 16
+	for !f.loadLock.CompareAndSwap(0, 1) {
+		bo.Pause()
+	}
+	defer f.loadLock.Store(0)
+	n := f.pending.Swap(0)
+	active := f.foldCells()
+	sum := f.base.Load()
+	switch f.eng.Mode() {
+	case fSharded:
+		if active <= 1 {
+			// At most one writer since the last reconciliation: the
+			// sharded protocol is sub-optimal for this load level. (No
+			// Good on the up-edge here: through the two-direction Policy
+			// interface an Optimal would erase the down-pressure this
+			// vote just raised.)
+			if f.eng.Vote(fopTable, fSharded, fCAS, f.cfg.emptyLim()) {
+				f.switchFop(fSharded, fCAS)
+			}
+		} else {
+			f.eng.Good(fopTable, fSharded, fCAS)
+			if 2*active >= len(cells) {
+				// A reconciling read swept a wide fan-in of writers: reads
+				// are paying full sweeps while updates pour in — the regime
+				// batched combining is built for.
+				if f.eng.Vote(fopTable, fSharded, fCombining, f.cfg.failLimit()) {
+					f.switchFop(fSharded, fCombining)
+				}
+			} else {
+				f.eng.Good(fopTable, fSharded, fCombining)
+			}
+		}
+	case fCombining:
+		f.noteCombineBatch(n)
+	}
+	return sum
+}
+
+// switchFop performs a protocol change from want to next through the
+// engine's consensus word, at most once per detection round. The cells
+// are built before a cell-based mode is published so updates never
+// observe a nil array; no state copying is needed in either direction —
+// Value always folds base plus cells, so updates racing with the change
+// land in whichever protocol they observed and are never lost (the
+// "common location" optimization of Section 3.3.2).
+func (f *FetchOp) switchFop(want, next modal.Mode) {
+	if next != fCAS {
+		f.shardCells()
+	}
+	if f.eng.TryCommit(fopTable, want, next) && next == fCombining {
+		// A fresh combining epoch starts a fresh batch window.
+		f.pending.Store(0)
+	}
+}

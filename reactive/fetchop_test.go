@@ -1,0 +1,243 @@
+package reactive
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/reactive/modal"
+	"repro/reactive/policy"
+)
+
+func TestNewFetchOpRequiresOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFetchOp(nil, ...) must panic")
+		}
+	}()
+	NewFetchOp(nil, 0)
+}
+
+func TestFetchOpStartsInCAS(t *testing.T) {
+	f := NewFetchOp(func(a, b int64) int64 { return a + b }, 0)
+	f.Apply(5)
+	f.Apply(-2)
+	if got := f.Value(); got != 3 {
+		t.Fatalf("Value = %d, want 3", got)
+	}
+	if st := f.Stats(); st.Mode != ModeCAS || st.Switches != 0 {
+		t.Fatalf("Stats = %+v, want cas mode, 0 switches", st)
+	}
+}
+
+// TestFetchOpMaxAcrossModes drives a non-additive operation (running
+// max, identity MinInt64) through all three protocols and checks the
+// fold is exact in each.
+func TestFetchOpMaxAcrossModes(t *testing.T) {
+	max := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	f := NewFetchOp(max, math.MinInt64)
+	f.Apply(7)
+	if got := f.Value(); got != 7 {
+		t.Fatalf("cas-mode max = %d, want 7", got)
+	}
+	f.forceMode(t, fSharded)
+	f.Apply(3)
+	f.Apply(42)
+	if got := f.Value(); got != 42 {
+		t.Fatalf("sharded-mode max = %d, want 42", got)
+	}
+	f.forceMode(t, fCombining)
+	for i := int64(0); i < 500; i++ {
+		f.Apply(i)
+	}
+	if got := f.Value(); got != 499 {
+		t.Fatalf("combining-mode max = %d, want 499", got)
+	}
+}
+
+// forceMode walks the accumulator to the target mode through the
+// transition chain (the table permits only adjacent steps).
+func (f *FetchOp) forceMode(t *testing.T, want modal.Mode) {
+	t.Helper()
+	for i := 0; f.eng.Mode() != want; i++ {
+		cur := f.eng.Mode()
+		next := cur + 1
+		if cur > want {
+			next = cur - 1
+		}
+		f.switchFop(cur, next)
+		if i > 8 {
+			t.Fatalf("could not force mode %d", want)
+		}
+	}
+}
+
+// TestFetchOpChainOnly: the transition table must not permit the
+// CAS↔combining shortcut, mirroring the simulator's TTS↔tree gap.
+func TestFetchOpChainOnly(t *testing.T) {
+	if fopTable.Has(fCAS, fCombining) || fopTable.Has(fCombining, fCAS) {
+		t.Fatal("fopTable permits a CAS↔combining shortcut")
+	}
+	for _, e := range []struct{ from, to modal.Mode }{
+		{fCAS, fSharded}, {fSharded, fCAS}, {fSharded, fCombining}, {fCombining, fSharded},
+	} {
+		if !fopTable.Has(e.from, e.to) {
+			t.Fatalf("fopTable missing the %d→%d chain edge", e.from, e.to)
+		}
+	}
+}
+
+// TestFetchOpDetectionChain walks the full detection chain end to end
+// with the built-in streaks: contended Applies promote CAS→sharded,
+// wide-fan-in reconciling Values promote sharded→combining, idle sweeps
+// demote combining→sharded, and single-writer Values demote back to CAS.
+func TestFetchOpDetectionChain(t *testing.T) {
+	f := NewFetchOp(func(a, b int64) int64 { return a + b }, 0,
+		WithSpinFailLimit(2), WithEmptyLimit(2))
+	// Up: contended CAS applies.
+	for i := 0; i < 2; i++ {
+		f.noteContendedApply()
+	}
+	if f.Stats().Mode != ModeSharded {
+		t.Fatalf("mode = %v after contended streak, want sharded", f.Stats().Mode)
+	}
+	// Up: every cell active across consecutive reconciling Values.
+	cells := f.shardCells()
+	for round := 0; round < 2; round++ {
+		for i := range cells {
+			cells[i].v.Add(1)
+		}
+		f.Value()
+	}
+	if f.Stats().Mode != ModeCombining {
+		t.Fatalf("mode = %v after wide-fan-in Values, want combining", f.Stats().Mode)
+	}
+	// Down: sweeps that find ≤1 pending deposit.
+	for i := 0; i < 2; i++ {
+		f.Apply(1)
+		f.Value()
+	}
+	if f.Stats().Mode != ModeSharded {
+		t.Fatalf("mode = %v after idle combining sweeps, want sharded", f.Stats().Mode)
+	}
+	// Down: single-writer Values.
+	for i := 0; i < 2; i++ {
+		f.Apply(1)
+		f.Value()
+	}
+	if f.Stats().Mode != ModeCAS {
+		t.Fatalf("mode = %v after single-writer Values, want cas", f.Stats().Mode)
+	}
+	if got, want := f.Value(), int64(2+2+2*len(cells)); got != want {
+		t.Fatalf("Value = %d after the full chain, want %d", got, want)
+	}
+	if f.Stats().Switches != 4 {
+		t.Fatalf("switches = %d, want 4", f.Stats().Switches)
+	}
+}
+
+// TestFetchOpInjectedPolicy: an always-switch policy rides each
+// detection event through a transition immediately, in both directions.
+func TestFetchOpInjectedPolicy(t *testing.T) {
+	f := NewFetchOp(func(a, b int64) int64 { return a + b }, 0,
+		WithPolicy(policy.AlwaysSwitch{}))
+	f.noteContendedApply()
+	if f.Stats().Mode != ModeSharded {
+		t.Fatal("always-switch did not promote on first contended Apply")
+	}
+	f.Apply(1)
+	f.Value() // single writer: demote
+	if f.Stats().Mode != ModeCAS {
+		t.Fatal("always-switch did not demote on single-writer Value")
+	}
+}
+
+// TestFetchOpCombiningFoldsEagerly: in combining mode, updaters fold the
+// cells into the shared word on their own once a batch accumulates — the
+// base must advance without any Value call.
+func TestFetchOpCombiningFoldsEagerly(t *testing.T) {
+	f := NewFetchOp(func(a, b int64) int64 { return a + b }, 0)
+	f.forceMode(t, fCombining)
+	batch := f.combineBatch()
+	for i := int64(0); i < 4*batch; i++ {
+		f.Apply(1)
+	}
+	if got := f.base.Load(); got == 0 {
+		t.Fatal("combining mode never folded cells into the base without a Value call")
+	}
+	if got := f.Value(); got != 4*batch {
+		t.Fatalf("Value = %d, want %d", got, 4*batch)
+	}
+}
+
+// TestFetchOpStressForcedModeSwitches is the acceptance stress test for
+// the N=3 modal object: hammer Apply and Value from many goroutines
+// while a forcer walks the mode chain in both directions as fast as it
+// can, under the race detector when enabled. The timeout guard asserts
+// no updater is stranded across any transition, and the final Value must
+// account for every operation regardless of which protocol each landed
+// in.
+func TestFetchOpStressForcedModeSwitches(t *testing.T) {
+	f := NewFetchOp(func(a, b int64) int64 { return a + b }, 0)
+	const goroutines = 24
+	iters := 3000
+	if testing.Short() {
+		iters = 800
+	}
+	stop := make(chan struct{})
+	var fwg sync.WaitGroup
+	fwg.Add(1)
+	go func() { // forcer: walk the chain up and down through every edge
+		defer fwg.Done()
+		edges := []struct{ from, to modal.Mode }{
+			{fCAS, fSharded}, {fSharded, fCombining}, {fCombining, fSharded}, {fSharded, fCAS},
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e := edges[i%len(edges)]
+			f.switchFop(e.from, e.to)
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				f.Apply(1)
+				if g == 0 && i%64 == 0 {
+					f.Value() // reconciling reader in the mix
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		close(stop)
+		t.Fatal("stranded updater: Apply calls did not complete across forced mode switches")
+	}
+	close(stop)
+	fwg.Wait()
+	if got := f.Value(); got != goroutines*int64(iters) {
+		t.Fatalf("Value = %d, want %d", got, goroutines*int64(iters))
+	}
+	// A second Value must not double-count reconciled cells.
+	if got := f.Value(); got != goroutines*int64(iters) {
+		t.Fatalf("second Value = %d, want %d", got, goroutines*int64(iters))
+	}
+}

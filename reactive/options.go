@@ -13,17 +13,18 @@ type config struct {
 	pol           policy.Policy
 }
 
-// An Option configures an adaptive primitive built by New, NewCounter, or
-// NewRWMutex. Options not meaningful for a primitive are accepted and
-// ignored (e.g. WithPollIters on a Counter), so one option slice can
-// configure a family of primitives uniformly.
+// An Option configures an adaptive primitive built by New, NewCounter,
+// NewRWMutex, or NewFetchOp. Options not meaningful for a primitive are
+// accepted and ignored (e.g. WithPollIters on a Counter), so one option
+// slice can configure a family of primitives uniformly.
 type Option func(*config)
 
-// WithSpinFailLimit sets how many consecutive contended acquisitions (for
-// Mutex and RWMutex) or contended Adds (for Counter) the built-in
-// detection tolerates before switching to the scalable protocol. n must be
-// positive. Default: DefaultSpinFailLimit. Ignored when WithPolicy installs
-// an explicit switching policy.
+// WithSpinFailLimit sets how many consecutive scale-up observations —
+// contended acquisitions for Mutex and RWMutex, contended CAS updates
+// (and wide-fan-in reconciliations) for Counter and FetchOp — the
+// built-in detection tolerates before switching to the next, more
+// scalable protocol. n must be positive. Default: DefaultSpinFailLimit.
+// Ignored when WithPolicy installs an explicit switching policy.
 func WithSpinFailLimit(n int) Option {
 	if n <= 0 {
 		panic("reactive: WithSpinFailLimit requires n > 0")
@@ -31,11 +32,12 @@ func WithSpinFailLimit(n int) Option {
 	return func(c *config) { c.spinFailLimit = int32(n) }
 }
 
-// WithEmptyLimit sets how many consecutive uncontended releases (for Mutex
-// and RWMutex) or single-writer Loads (for Counter) the built-in detection
-// tolerates before switching back to the cheap protocol. n must be
-// positive. Default: DefaultEmptyLimit. Ignored when WithPolicy installs an
-// explicit switching policy.
+// WithEmptyLimit sets how many consecutive scale-down observations —
+// uncontended releases for Mutex and RWMutex, single-writer
+// reconciliations or idle combining sweeps for Counter and FetchOp —
+// the built-in detection tolerates before switching back to the next,
+// cheaper protocol. n must be positive. Default: DefaultEmptyLimit.
+// Ignored when WithPolicy installs an explicit switching policy.
 func WithEmptyLimit(n int) Option {
 	if n <= 0 {
 		panic("reactive: WithEmptyLimit requires n > 0")
@@ -65,7 +67,9 @@ func WithPollIters(n int) Option {
 // Detection events are mapped onto the policy as in the simulator's
 // reactive algorithms: direction 0 is cheap→scalable (contention
 // appeared), direction 1 is scalable→cheap (contention disappeared), and
-// the residual costs are ResidualCheapHigh and ResidualScalableLow.
+// the residual costs are ResidualCheapHigh and ResidualScalableLow —
+// the per-edge Dir/Residual values of the primitive's reactive/modal
+// transition table.
 func WithPolicy(p policy.Policy) Option {
 	return func(c *config) { c.pol = p }
 }

@@ -9,41 +9,59 @@
 // expected waiting cost is within e/(e−1) ≈ 1.58 of optimal for
 // exponentially distributed waits.
 //
-// Three primitives realize both ideas to the extent the Go runtime allows.
+// Four primitives realize both ideas to the extent the Go runtime allows.
 // The Go scheduler owns thread placement and preemption, so cycle-exact
 // spin-lock protocol behavior (the cache-invalidation effects the thesis
 // measures on Alewife) is not observable here — the faithful reproduction
 // of those experiments lives in the internal simulator packages. What
 // carries over soundly to Go is:
 //
-//   - protocol-mode selection between a cheap protocol (best uncontended)
-//     and a scalable protocol (best contended), switched by the thesis's
-//     detection heuristics — Mutex selects between barging spin and FIFO
-//     parking, Counter between a single compare-and-swap word and sharded
-//     per-processor cells, and RWMutex between spinning and parking
-//     readers; and
+//   - protocol-mode selection among the modes of a modal object (the
+//     reactive/modal engine): a cheap protocol (best uncontended), a
+//     scalable protocol (best contended) — and, for FetchOp, a third,
+//     batching protocol beyond that — switched by the thesis's detection
+//     heuristics. Mutex selects between barging spin and FIFO parking,
+//     Counter and FetchOp among a single compare-and-swap word, sharded
+//     per-processor cells, and batched combining, and RWMutex between
+//     spinning and parking readers; and
 //   - two-phase waiting wherever a primitive blocks, with Lpoll expressed
 //     in spin iterations calibrated against the parking cost.
 //
 // The zero value of each type is ready to use with the package-default
-// tunables. New, NewCounter, and NewRWMutex accept Options that change the
-// detection thresholds (WithSpinFailLimit, WithEmptyLimit), the polling
-// budget (WithPollIters), or replace the built-in streak detection with
-// any policy from the reactive/policy package (WithPolicy) — the same
-// Policy interface the simulator's reactive algorithms consume.
+// tunables. New, NewCounter, NewRWMutex, and NewFetchOp accept Options
+// that change the detection thresholds (WithSpinFailLimit,
+// WithEmptyLimit), the polling budget (WithPollIters), or replace the
+// built-in streak detection with any policy from the reactive/policy
+// package (WithPolicy) — the same Policy interface the simulator's
+// reactive algorithms consume. All mode changes, in every primitive, go
+// through the same reactive/modal transition engine the simulator's
+// algorithms validate against.
 package reactive
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/reactive/modal"
+	"repro/reactive/policy"
+)
+
+// Policy directions shared by every primitive in this package: 0 votes
+// toward a more scalable protocol (contention appeared while a cheaper
+// protocol was selected), 1 votes toward a cheaper protocol (contention
+// disappeared while a more scalable protocol was selected). These match
+// the direction conventions of the simulator's reactive algorithms.
+const (
+	dirScaleUp   policy.Direction = 0
+	dirScaleDown policy.Direction = 1
 )
 
 // Mode identifies the protocol an adaptive primitive is currently using.
 type Mode uint32
 
 // Protocol modes. Mutex and RWMutex alternate between ModeSpin and
-// ModePark; Counter alternates between ModeCAS and ModeSharded.
+// ModePark; Counter and FetchOp move along the chain ModeCAS ↔
+// ModeSharded ↔ ModeCombining.
 const (
 	// ModeSpin is the test-and-test-and-set analogue: waiters spin with
 	// randomized exponential backoff; unlock releases the lock word for
@@ -53,12 +71,22 @@ const (
 	// two-phase polling budget and then park on a FIFO semaphore; unlock
 	// wakes the oldest parked waiter. Scalable under contention.
 	ModePark
-	// ModeCAS is Counter's cheap protocol: one shared word updated by
-	// compare-and-swap. The TTS-lock fetch-and-op analogue.
+	// ModeCAS is Counter's and FetchOp's cheap protocol: one shared word
+	// updated by compare-and-swap. The TTS-lock fetch-and-op analogue.
 	ModeCAS
-	// ModeSharded is Counter's scalable protocol: per-processor cells
-	// reconciled by Load. The combining-tree analogue.
+	// ModeSharded is Counter's and FetchOp's scalable protocol:
+	// per-processor cells reconciled by Load/Value. The parallel-update
+	// middle protocol, analogous to the simulator's queue-based
+	// fetch-and-op: larger fixed cost than ModeCAS, far better under
+	// update contention, but every read pays a full reconciling sweep.
 	ModeSharded
+	// ModeCombining is FetchOp's (and Counter's) most scalable protocol,
+	// the combining-tree analogue: updates still land in per-processor
+	// cells, but updaters batch-fold the cells into the shared word once
+	// enough operations accumulate, so reads stay cheap and the shared
+	// word is touched once per batch instead of once per operation. Best
+	// when heavy updates and frequent reads coincide.
+	ModeCombining
 )
 
 // String names the mode.
@@ -70,6 +98,8 @@ func (m Mode) String() string {
 		return "cas"
 	case ModeSharded:
 		return "sharded"
+	case ModeCombining:
+		return "combining"
 	}
 	return "spin"
 }
@@ -81,6 +111,22 @@ const (
 	contended uint32 = 2 // locked with (possibly) parked waiters
 )
 
+// Engine-local mode indices for the spin/park modal objects (Mutex,
+// RWMutex). They coincide with the public ModeSpin/ModePark values, so
+// Stats conversion is the identity.
+const (
+	mSpin modal.Mode = 0
+	mPark modal.Mode = 1
+)
+
+// spinParkTable is the 2-mode transition table shared by Mutex and
+// RWMutex: the degenerate — but still consensus-serialized — modal
+// object of the thesis's reactive spin lock.
+var spinParkTable = modal.NewTable(2, []modal.Transition{
+	{From: mSpin, To: mPark, Dir: dirScaleUp, Residual: ResidualCheapHigh},
+	{From: mPark, To: mSpin, Dir: dirScaleDown, Residual: ResidualScalableLow},
+})
+
 // Default tunables; the defaults follow the thesis: switch to the scalable
 // protocol after a streak of contended acquisitions, back after a streak
 // of uncontended ones, and poll about half the cost of blocking before
@@ -89,11 +135,11 @@ const (
 const (
 	// DefaultSpinFailLimit is the number of consecutive contended lock
 	// acquisitions before switching ModeSpin → ModePark (and the analogous
-	// thresholds of Counter and RWMutex).
+	// scale-up thresholds of Counter, FetchOp, and RWMutex).
 	DefaultSpinFailLimit = 3
 	// DefaultEmptyLimit is the number of consecutive uncontended unlocks
-	// before switching ModePark → ModeSpin (and the analogous thresholds
-	// of Counter and RWMutex).
+	// before switching ModePark → ModeSpin (and the analogous scale-down
+	// thresholds of Counter, FetchOp, and RWMutex).
 	DefaultEmptyLimit = 8
 	// DefaultPollIters is the two-phase polling budget in spin iterations
 	// before parking (≈0.5·B worth of polling on current hardware).
@@ -105,18 +151,18 @@ const (
 // with explicit Options. A Mutex must not be copied after first use.
 type Mutex struct {
 	state atomic.Uint32 // unlocked / locked / contended
-	mode  atomic.Uint32 // Mode
+
+	// eng is the modal-object engine holding the epoch-packed mode word
+	// and the detection state; all protocol changes go through its
+	// consensus CAS.
+	eng modal.Engine
 
 	sema     chan struct{} // FIFO park/wake channel (lazily created)
 	semaOnce sync.Once
 
 	waiters atomic.Int32 // parked-or-parking waiters
 
-	det detector
 	cfg config
-
-	// switches counts protocol changes (see Stats).
-	switches atomic.Uint64
 }
 
 // New builds a Mutex configured by opts. New() with no options is
@@ -124,7 +170,7 @@ type Mutex struct {
 func New(opts ...Option) *Mutex {
 	m := &Mutex{}
 	m.cfg.apply(opts)
-	m.det.pol = m.cfg.pol
+	m.eng.SetPolicy(m.cfg.pol)
 	return m
 }
 
@@ -160,7 +206,7 @@ type Stats struct {
 
 // Stats returns a snapshot of the mutex's adaptive state.
 func (m *Mutex) Stats() Stats {
-	return Stats{Mode: Mode(m.mode.Load()), Switches: m.switches.Load()}
+	return Stats{Mode: Mode(m.eng.Mode()), Switches: m.eng.Switches()}
 }
 
 func (m *Mutex) semaphore() chan struct{} {
@@ -179,12 +225,12 @@ func (m *Mutex) Lock() {
 	if m.state.CompareAndSwap(unlocked, locked) {
 		// Detection is mode-directional, as in the simulator's reactive
 		// lock: spin mode monitors the cheap→scalable direction only.
-		if Mode(m.mode.Load()) == ModeSpin {
-			m.det.good(dirScaleUp)
+		if m.eng.Mode() == mSpin {
+			m.eng.Good(spinParkTable, mSpin, mPark)
 		}
 		return
 	}
-	if Mode(m.mode.Load()) == ModeSpin {
+	if m.eng.Mode() == mSpin {
 		m.lockSpin()
 		return
 	}
@@ -199,10 +245,10 @@ func (m *Mutex) Lock() {
 // ModeSpin → ModePark — exactly the documented streak semantics.
 func (m *Mutex) noteSpinAcquire(fails int) {
 	if fails == 0 {
-		m.det.good(dirScaleUp)
+		m.eng.Good(spinParkTable, mSpin, mPark)
 		return
 	}
-	if m.det.vote(dirScaleUp, ResidualCheapHigh, m.cfg.failLimit()) {
+	if m.eng.Vote(spinParkTable, mSpin, mPark, m.cfg.failLimit()) {
 		m.switchMode(ModeSpin, ModePark)
 	}
 }
@@ -211,7 +257,7 @@ func (m *Mutex) noteSpinAcquire(fails int) {
 // exponential backoff. It migrates to the parking protocol if the mode
 // changes mid-wait.
 func (m *Mutex) lockSpin() {
-	backoff := 1
+	var bo modal.Backoff
 	fails := 0
 	for {
 		// Read-poll (cached) before attempting the RMW.
@@ -220,13 +266,8 @@ func (m *Mutex) lockSpin() {
 			return
 		}
 		fails++
-		for i := 0; i < backoff; i++ {
-			runtime.Gosched()
-		}
-		if backoff < 64 {
-			backoff *= 2
-		}
-		if Mode(m.mode.Load()) == ModePark {
+		bo.Pause()
+		if m.eng.Mode() == mPark {
 			m.lockPark()
 			return
 		}
@@ -238,11 +279,10 @@ func (m *Mutex) lockSpin() {
 // hands control back.
 func (m *Mutex) lockPark() {
 	// Phase one: poll.
-	for i := int32(0); i < m.cfg.pollBudget(); i++ {
-		if m.state.CompareAndSwap(unlocked, locked) {
-			return
-		}
-		runtime.Gosched()
+	if modal.Poll(m.cfg.pollBudget(), func() bool {
+		return m.state.CompareAndSwap(unlocked, locked)
+	}) {
+		return
 	}
 	// Phase two: signal. Mark the lock contended and park.
 	sema := m.semaphore()
@@ -271,14 +311,14 @@ func (m *Mutex) lockPark() {
 // Unlock releases the mutex. It must be called by the goroutine that holds
 // the lock.
 func (m *Mutex) Unlock() {
-	mode := Mode(m.mode.Load())
+	mode := m.eng.Mode()
 	old := m.state.Swap(unlocked)
 	if old == unlocked {
 		panic("reactive: Unlock of unlocked Mutex")
 	}
 	if old == contended || m.waiters.Load() > 0 {
-		if mode == ModePark {
-			m.det.good(dirScaleDown)
+		if mode == mPark {
+			m.eng.Good(spinParkTable, mPark, mSpin)
 		}
 		// Wake one parked waiter (non-blocking: capacity-1 channel).
 		select {
@@ -287,21 +327,20 @@ func (m *Mutex) Unlock() {
 		}
 		return
 	}
-	if mode == ModePark {
+	if mode == mPark {
 		// Uncontended unlock in the scalable protocol: vote to switch back
 		// to the cheap protocol.
-		if m.det.vote(dirScaleDown, ResidualScalableLow, m.cfg.emptyLim()) {
+		if m.eng.Vote(spinParkTable, mPark, mSpin, m.cfg.emptyLim()) {
 			m.switchMode(ModePark, ModeSpin)
 		}
 	}
 }
 
-// switchMode performs a protocol change from want to next, at most once
-// per detection round.
+// switchMode performs a protocol change from want to next through the
+// engine's consensus word — at most one caller wins each epoch, so the
+// change happens at most once per detection round.
 func (m *Mutex) switchMode(want, next Mode) {
-	if m.mode.CompareAndSwap(uint32(want), uint32(next)) {
-		m.switches.Add(1)
-		m.det.switched()
+	if m.eng.TryCommit(spinParkTable, modal.Mode(want), modal.Mode(next)) {
 		if next == ModeSpin {
 			// Ensure no parked waiter is stranded across the change.
 			select {

@@ -102,7 +102,7 @@ func TestSwitchesToParkUnderContention(t *testing.T) {
 		}()
 	}
 	deadline := time.After(3 * time.Second)
-	for Mode(m.mode.Load()) != ModePark {
+	for m.Stats().Mode != ModePark {
 		select {
 		case <-deadline:
 			close(stop)
@@ -121,12 +121,12 @@ func TestSwitchesToParkUnderContention(t *testing.T) {
 
 func TestReturnsToSpinWhenIdle(t *testing.T) {
 	var m Mutex
-	m.mode.Store(uint32(ModePark)) // force park mode
+	m.switchMode(ModeSpin, ModePark) // force park mode
 	for i := 0; i < 4*DefaultEmptyLimit; i++ {
 		m.Lock()
 		m.Unlock()
 	}
-	if got := Mode(m.mode.Load()); got != ModeSpin {
+	if got := m.Stats().Mode; got != ModeSpin {
 		t.Fatalf("mode = %v after uncontended unlocks, want spin", got)
 	}
 }
@@ -134,7 +134,7 @@ func TestReturnsToSpinWhenIdle(t *testing.T) {
 func TestNoLostWakeups(t *testing.T) {
 	// Hammer lock/unlock with goroutines forced through the park path.
 	var m Mutex
-	m.mode.Store(uint32(ModePark))
+	m.switchMode(ModeSpin, ModePark)
 	var wg sync.WaitGroup
 	total := atomic.Int64{}
 	for g := 0; g < 32; g++ {

@@ -1,9 +1,10 @@
 package reactive
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/reactive/modal"
 )
 
 // rwBias is the writer's claim on the reader count: Lock subtracts it so
@@ -50,7 +51,9 @@ type RWMutex struct {
 	// writer has claimed the lock.
 	readerCount atomic.Int32
 
-	mode atomic.Uint32 // Mode of the reader wait protocol
+	// eng is the modal-object engine selecting the reader wait protocol;
+	// all protocol changes go through its consensus CAS.
+	eng modal.Engine
 
 	mu       sync.Mutex // guards rcond's wait/broadcast ordering
 	rcond    *sync.Cond // parked readers (lazily created)
@@ -61,10 +64,7 @@ type RWMutex struct {
 	wsema     chan struct{} // parked writer draining readers (lazily created)
 	wsemaOnce sync.Once
 
-	det detector
 	cfg config
-
-	switches atomic.Uint64
 }
 
 // NewRWMutex builds an RWMutex configured by opts. NewRWMutex() with no
@@ -76,7 +76,7 @@ type RWMutex struct {
 func NewRWMutex(opts ...Option) *RWMutex {
 	rw := &RWMutex{}
 	rw.cfg.apply(opts)
-	rw.det.pol = rw.cfg.pol
+	rw.eng.SetPolicy(rw.cfg.pol)
 	rw.w.cfg = rw.cfg
 	rw.w.cfg.pol = nil
 	return rw
@@ -85,7 +85,7 @@ func NewRWMutex(opts ...Option) *RWMutex {
 // Stats returns a snapshot of the reader wait protocol's adaptive state.
 // The embedded writer mutex keeps its own statistics.
 func (rw *RWMutex) Stats() Stats {
-	return Stats{Mode: Mode(rw.mode.Load()), Switches: rw.switches.Load()}
+	return Stats{Mode: Mode(rw.eng.Mode()), Switches: rw.eng.Switches()}
 }
 
 func (rw *RWMutex) readerCond() *sync.Cond {
@@ -135,7 +135,9 @@ func (rw *RWMutex) TryRLock() bool {
 // polling budget; reader-reader CAS races retry immediately.
 func (rw *RWMutex) rlockSlow() {
 	budget := int(rw.cfg.pollBudget())
-	blocked, backoff := 0, 1
+	blocked := 0
+	var bo modal.Backoff
+	bo.Max = 16
 	for {
 		v := rw.readerCount.Load()
 		if v >= 0 {
@@ -146,28 +148,23 @@ func (rw *RWMutex) rlockSlow() {
 			// spinning reader burned more than Lpoll: sub-optimal, vote
 			// toward the parking protocol. Detection is mode-directional:
 			// spin mode monitors the cheap→scalable direction only.
-			if Mode(rw.mode.Load()) == ModeSpin {
+			if rw.eng.Mode() == mSpin {
 				if blocked > budget {
-					if rw.det.vote(dirScaleUp, ResidualCheapHigh, rw.cfg.failLimit()) {
+					if rw.eng.Vote(spinParkTable, mSpin, mPark, rw.cfg.failLimit()) {
 						rw.switchRWMode(ModeSpin, ModePark)
 					}
 				} else {
-					rw.det.good(dirScaleUp)
+					rw.eng.Good(spinParkTable, mSpin, mPark)
 				}
 			}
 			return
 		}
-		if Mode(rw.mode.Load()) == ModePark && blocked >= budget {
+		if rw.eng.Mode() == mPark && blocked >= budget {
 			rw.rlockPark()
 			continue // woken with the claim cleared: retry registration
 		}
 		blocked++
-		for i := 0; i < backoff; i++ {
-			runtime.Gosched()
-		}
-		if backoff < 16 {
-			backoff *= 2
-		}
+		bo.Pause()
 	}
 }
 
@@ -229,11 +226,10 @@ func (rw *RWMutex) TryLock() bool {
 // through the budget, then park on the writer semaphore the last draining
 // reader signals.
 func (rw *RWMutex) drainReaders() {
-	for i := int32(0); i < rw.cfg.pollBudget(); i++ {
-		if rw.readerCount.Load() == -rwBias {
-			return
-		}
-		runtime.Gosched()
+	if modal.Poll(rw.cfg.pollBudget(), func() bool {
+		return rw.readerCount.Load() == -rwBias
+	}) {
+		return
 	}
 	sema := rw.writerSema()
 	for rw.readerCount.Load() != -rwBias {
@@ -257,10 +253,10 @@ func (rw *RWMutex) Unlock() {
 		rw.rcond.Broadcast()
 		rw.mu.Unlock()
 	}
-	if Mode(rw.mode.Load()) == ModePark {
+	if rw.eng.Mode() == mPark {
 		if parked {
-			rw.det.good(dirScaleDown)
-		} else if rw.det.vote(dirScaleDown, ResidualScalableLow, rw.cfg.emptyLim()) {
+			rw.eng.Good(spinParkTable, mPark, mSpin)
+		} else if rw.eng.Vote(spinParkTable, mPark, mSpin, rw.cfg.emptyLim()) {
 			// No reader parked across this writer hold: the parking
 			// protocol went unused; vote toward the cheap protocol.
 			rw.switchRWMode(ModePark, ModeSpin)
@@ -269,13 +265,12 @@ func (rw *RWMutex) Unlock() {
 	rw.w.Unlock()
 }
 
-// switchRWMode performs a reader-protocol change from want to next, at
-// most once per detection round. A change back to spin wakes any reader
-// still parked so none sleeps through the transition.
+// switchRWMode performs a reader-protocol change from want to next
+// through the engine's consensus word, at most once per detection round.
+// A change back to spin wakes any reader still parked so none sleeps
+// through the transition.
 func (rw *RWMutex) switchRWMode(want, next Mode) {
-	if rw.mode.CompareAndSwap(uint32(want), uint32(next)) {
-		rw.switches.Add(1)
-		rw.det.switched()
+	if rw.eng.TryCommit(spinParkTable, modal.Mode(want), modal.Mode(next)) {
 		if next == ModeSpin && rw.condUp.Load() {
 			rw.mu.Lock()
 			rw.rcond.Broadcast()

@@ -20,10 +20,10 @@ func TestRWMutexOptionsReachWriterMutex(t *testing.T) {
 		t.Fatalf("writer mutex tunables = (%d,%d,%d), want (7,9,11)",
 			rw.w.cfg.failLimit(), rw.w.cfg.emptyLim(), rw.w.cfg.pollBudget())
 	}
-	if rw.w.cfg.pol != nil || rw.w.det.pol != nil {
+	if rw.w.cfg.pol != nil || rw.w.eng.Policy() != nil {
 		t.Fatal("policy instance must not propagate to the embedded writer mutex")
 	}
-	if rw.det.pol == nil {
+	if rw.eng.Policy() == nil {
 		t.Fatal("policy not installed on the reader protocol")
 	}
 }
@@ -175,7 +175,7 @@ func TestRWMutexSwitchesToParkOnLongWrites(t *testing.T) {
 // breaks the streak.
 func TestRWMutexWaitStreakSemantics(t *testing.T) {
 	vote := func(rw *RWMutex) { // one over-budget wait, as rlockSlow reports it
-		if rw.det.vote(dirScaleUp, ResidualCheapHigh, rw.cfg.failLimit()) {
+		if rw.eng.Vote(spinParkTable, mSpin, mPark, rw.cfg.failLimit()) {
 			rw.switchRWMode(ModeSpin, ModePark)
 		}
 	}
@@ -196,7 +196,7 @@ func TestRWMutexWaitStreakSemantics(t *testing.T) {
 		for i := 0; i < DefaultSpinFailLimit-1; i++ {
 			vote(&rw2)
 		}
-		rw2.det.good(dirScaleUp) // within-budget wait, as rlockSlow reports it
+		rw2.eng.Good(spinParkTable, mSpin, mPark) // within-budget wait, as rlockSlow reports it
 	}
 	if got := rw2.Stats().Mode; got != ModeSpin {
 		t.Fatalf("mode = %v after broken streaks, want spin", got)
@@ -207,7 +207,7 @@ func TestRWMutexWaitStreakSemantics(t *testing.T) {
 // pass no waiting readers switch the reader protocol back to spin.
 func TestRWMutexReturnsToSpinWhenWritersUncontended(t *testing.T) {
 	var rw RWMutex
-	rw.mode.Store(uint32(ModePark)) // force park mode
+	rw.switchRWMode(ModeSpin, ModePark) // force park mode
 	for i := 0; i < 2*DefaultEmptyLimit; i++ {
 		rw.Lock()
 		rw.Unlock()
@@ -221,7 +221,7 @@ func TestRWMutexReturnsToSpinWhenWritersUncontended(t *testing.T) {
 // protocol back to spin on the first reader-free writer release.
 func TestRWMutexInjectedPolicy(t *testing.T) {
 	rw := NewRWMutex(WithPolicy(policy.AlwaysSwitch{}))
-	rw.mode.Store(uint32(ModePark))
+	rw.switchRWMode(ModeSpin, ModePark)
 	rw.Lock()
 	rw.Unlock()
 	if got := rw.Stats().Mode; got != ModeSpin {
