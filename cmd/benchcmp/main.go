@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -107,9 +108,20 @@ func compareTables(oldDoc, newDoc *resultsDoc) {
 			}
 		}
 	}
-	for name := range oldByName {
+	for _, name := range sortedKeys(oldByName) {
 		fmt.Printf("%-28s REMOVED (baseline only)\n", name)
 	}
+}
+
+// sortedKeys returns m's keys in sorted order so leftover-entry reports
+// are deterministic across runs (the artifact is diffed textually).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // diffTable counts differing cells and tracks the largest relative
@@ -169,11 +181,15 @@ func compareNative(oldDoc, newDoc *resultsDoc) {
 			fmt.Printf("%-36s %12s %12.2f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
 			continue
 		}
+		delete(oldByName, nr.Name)
 		delta := "~"
 		if ov != 0 {
 			delta = fmt.Sprintf("%+.1f%%", 100*(nr.NsPerOp-ov)/ov)
 		}
 		fmt.Printf("%-36s %12.2f %12.2f %9s\n", nr.Name, ov, nr.NsPerOp, delta)
+	}
+	for _, name := range sortedKeys(oldByName) {
+		fmt.Printf("%-36s %12.2f %12s %9s\n", name, oldByName[name], "-", "removed")
 	}
 }
 

@@ -89,10 +89,15 @@ type FetchOp struct {
 	cells      []fopCell // cell array (lazily created; cells hold id when empty)
 	cellsOnce  sync.Once
 	cellsBuilt atomic.Bool
-	loadLock   atomic.Uint32 // serializes reconciling sweeps by Value
 
-	pending  atomic.Int64  // combining mode: deposits since the last sweep
-	combLock atomic.Uint32 // serializes batch folds by updaters
+	pending atomic.Int64 // combining mode: deposits since the last sweep
+
+	// sweepLock serializes every cell sweep — reconciling Values and
+	// combining-mode batch folds alike. One lock for both is load-bearing:
+	// a fold holds harvested-but-unfolded cell values between its cell
+	// Swaps and its CAS into base, and a concurrent sweep reading base in
+	// that window would miss them.
+	sweepLock atomic.Uint32
 
 	cfg config
 }
@@ -126,6 +131,7 @@ func NewFetchOp(op func(a, b int64) int64, identity int64, opts ...Option) *Fetc
 		panic("reactive: NewFetchOp requires an operation (use Counter for plain addition)")
 	}
 	f := &FetchOp{op: op, id: identity}
+	f.base.Store(identity)
 	f.cfg.apply(opts)
 	f.eng.SetPolicy(f.cfg.pol)
 	return f
@@ -232,12 +238,7 @@ func (f *FetchOp) applyCell(x int64) {
 	if f.op == nil {
 		c.v.Add(x)
 	} else {
-		for {
-			v := c.v.Load()
-			if c.v.CompareAndSwap(v, f.op(v, x)) {
-				break
-			}
-		}
+		casFold(&c.v, f.op, x)
 	}
 	stripePool.Put(s)
 }
@@ -249,10 +250,15 @@ func (f *FetchOp) applyCell(x int64) {
 // batch and no dedicated combiner thread exists.
 func (f *FetchOp) applyCombining(x int64) {
 	f.applyCell(x)
-	if f.pending.Add(1) >= f.combineBatch() && f.combLock.CompareAndSwap(0, 1) {
-		n := f.pending.Swap(0)
-		f.foldCells()
-		f.combLock.Store(0)
+	if f.pending.Add(1) >= f.combineBatch() && f.sweepLock.CompareAndSwap(0, 1) {
+		n := func() int64 {
+			// Released by defer so a panicking user op inside the fold
+			// cannot leak the lock and wedge every future sweep.
+			defer f.sweepLock.Store(0)
+			n := f.pending.Swap(0)
+			f.foldCells()
+			return n
+		}()
 		// n == 0 means a racing Value stole the pending count between the
 		// threshold check and the swap; the batch was full, so recording
 		// an idle-sweep vote here would be spurious detection noise.
@@ -266,10 +272,11 @@ func (f *FetchOp) combineBatch() int64 {
 	return combineBatchPerCell * int64(len(f.shardCells()))
 }
 
-// foldCells sweeps every cell into the shared word. Safe under either
-// the combLock or the loadLock: each cell's Swap hands its accumulated
-// value to exactly one sweeper, and the fold into base is atomic, so
-// concurrent sweeps cannot lose or double-count an operand.
+// foldCells sweeps every cell into the shared word. Callers must hold
+// the sweepLock: each cell's Swap hands its accumulated value to exactly
+// one sweeper, but between the Swaps and the fold into base the harvested
+// values live only in this frame, so an unserialized concurrent sweep
+// reading base would miss them.
 func (f *FetchOp) foldCells() (active int) {
 	cells := f.shardCells()
 	moved := f.id
@@ -285,15 +292,21 @@ func (f *FetchOp) foldCells() (active int) {
 		if f.op == nil {
 			f.base.Add(moved)
 		} else {
-			for {
-				v := f.base.Load()
-				if f.base.CompareAndSwap(v, f.op(v, moved)) {
-					break
-				}
-			}
+			casFold(&f.base, f.op, moved)
 		}
 	}
 	return active
+}
+
+// casFold folds x into target under op with a load/CAS retry loop — the
+// generic-op analogue of atomic.Int64.Add.
+func casFold(target *atomic.Int64, op func(a, b int64) int64, x int64) {
+	for {
+		v := target.Load()
+		if target.CompareAndSwap(v, op(v, x)) {
+			return
+		}
+	}
 }
 
 // noteCombineBatch runs the combining protocol's detection on one sweep
@@ -329,17 +342,18 @@ func (f *FetchOp) Value() int64 {
 	if cells == nil {
 		return f.base.Load()
 	}
-	// Reconciliations are serialized: a concurrent Value must not read
-	// the base while another Value holds harvested-but-unfolded cell
-	// values (it would miss them), and a trailing Value sweeping
-	// just-emptied cells must not mistake the empty sweep for low
-	// contention.
+	// Sweeps are serialized by the sweepLock, shared with combining-mode
+	// batch folds: a concurrent Value must not read the base while
+	// another sweeper holds harvested-but-unfolded cell values (it would
+	// miss them — including an Apply that completed before this Value
+	// started), and a trailing Value sweeping just-emptied cells must not
+	// mistake the empty sweep for low contention.
 	var bo modal.Backoff
 	bo.Max = 16
-	for !f.loadLock.CompareAndSwap(0, 1) {
+	for !f.sweepLock.CompareAndSwap(0, 1) {
 		bo.Pause()
 	}
-	defer f.loadLock.Store(0)
+	defer f.sweepLock.Store(0)
 	n := f.pending.Swap(0)
 	active := f.foldCells()
 	sum := f.base.Load()
@@ -368,6 +382,14 @@ func (f *FetchOp) Value() int64 {
 			}
 		}
 	case fCombining:
+		// A combiner's fold may have swapped pending to 0 just before this
+		// sweep acquired the lock; under saturation that race would read
+		// as an idle sweep and flap the mode down. The cells the sweep
+		// itself emptied are the tie-breaker: deposits keep landing in
+		// them under real load, so count whichever signal saw more.
+		if int64(active) > n {
+			n = int64(active)
+		}
 		f.noteCombineBatch(n)
 	}
 	return sum

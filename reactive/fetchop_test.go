@@ -33,7 +33,8 @@ func TestFetchOpStartsInCAS(t *testing.T) {
 
 // TestFetchOpMaxAcrossModes drives a non-additive operation (running
 // max, identity MinInt64) through all three protocols and checks the
-// fold is exact in each.
+// fold is exact in each — including negative operands, which only fold
+// correctly if the base starts at the identity element rather than 0.
 func TestFetchOpMaxAcrossModes(t *testing.T) {
 	max := func(a, b int64) int64 {
 		if a > b {
@@ -42,6 +43,13 @@ func TestFetchOpMaxAcrossModes(t *testing.T) {
 		return b
 	}
 	f := NewFetchOp(max, math.MinInt64)
+	if got := f.Value(); got != math.MinInt64 {
+		t.Fatalf("fresh Value = %d, want the identity %d", got, int64(math.MinInt64))
+	}
+	f.Apply(-5)
+	if got := f.Value(); got != -5 {
+		t.Fatalf("cas-mode max of {-5} = %d, want -5", got)
+	}
 	f.Apply(7)
 	if got := f.Value(); got != 7 {
 		t.Fatalf("cas-mode max = %d, want 7", got)
@@ -54,10 +62,10 @@ func TestFetchOpMaxAcrossModes(t *testing.T) {
 	}
 	f.forceMode(t, fCombining)
 	for i := int64(0); i < 500; i++ {
-		f.Apply(i)
+		f.Apply(i - 250)
 	}
-	if got := f.Value(); got != 499 {
-		t.Fatalf("combining-mode max = %d, want 499", got)
+	if got := f.Value(); got != 249 {
+		t.Fatalf("combining-mode max = %d, want 249", got)
 	}
 }
 

@@ -70,5 +70,8 @@ func (b *Backoff) Pause() {
 	}
 	if b.mean < max {
 		b.mean *= 2
+		if b.mean > max {
+			b.mean = max
+		}
 	}
 }
