@@ -10,9 +10,12 @@ all: lint build test
 build:
 	$(GO) build ./...
 
-# The CI test job: race detector on, slow experiment tables skipped.
+# The CI test job: race detector on, slow experiment tables skipped,
+# plus the portable affinity-fallback build tag.
 test:
 	$(GO) test -race -short ./...
+	$(GO) build -tags reactive_noprocpin ./...
+	$(GO) test -tags reactive_noprocpin -short ./reactive/...
 
 # The tier-1 gate: every test at full scale (slower).
 test-full:
@@ -26,9 +29,13 @@ bench:
 # Compare a fresh bench_results.json against the committed baseline
 # (bench_baseline.json): benchstat-style report via cmd/benchcmp, which
 # also invokes the real benchstat on the native sections when the tool
-# is installed. Mirrors CI's non-blocking bench-compare step.
+# is installed. Mirrors CI's non-blocking bench-compare step, including
+# its regression threshold (exit code 1 when a native fast path
+# regressed beyond THRESHOLD percent).
+THRESHOLD ?= 25
 bench-compare: bench
-	$(GO) run ./cmd/benchcmp -old bench_baseline.json -new bench_results.json | tee bench_compare.txt
+	@$(GO) run ./cmd/benchcmp -old bench_baseline.json -new bench_results.json -threshold $(THRESHOLD) > bench_compare.txt; \
+	st=$$?; cat bench_compare.txt; exit $$st
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi

@@ -274,7 +274,7 @@ func BenchmarkTable4_6_HalfB(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §6) ---
+// --- Ablations (DESIGN.md §7) ---
 
 func BenchmarkAblationOptimisticTAS(b *testing.B) {
 	for _, proto := range []string{"reactive", "reactive-nonoptimistic"} {
@@ -486,15 +486,54 @@ func BenchmarkNativeFetchOp(b *testing.B) {
 			}
 		})
 	})
+	// Forced-regime variants: WithInitialMode pins the protocol under
+	// measurement, so the sharded/combining fast paths are exercised
+	// even on hosts whose parallelism never triggers detection.
+	b.Run("sharded-forced/reactive", func(b *testing.B) {
+		f := reactive.NewFetchOp(add, 0, reactive.WithInitialMode(reactive.ModeSharded))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				f.Apply(1)
+			}
+		})
+		b.ReportMetric(float64(f.Stats().Mode), "endmode")
+	})
+	b.Run("combining-forced/reactive", func(b *testing.B) {
+		f := reactive.NewFetchOp(add, 0,
+			reactive.WithInitialMode(reactive.ModeCombining), reactive.WithEmptyLimit(1<<30))
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				f.Apply(1)
+				if i++; i%64 == 0 {
+					f.Value()
+				}
+			}
+		})
+		b.ReportMetric(float64(f.Stats().Mode), "endmode")
+	})
 }
 
+// BenchmarkNativeRWMutex measures the reactive reader/writer lock
+// against sync.RWMutex. Beyond the original uncontended/contended
+// pair, the read-heavy parallel-scaling variants exercise the regimes
+// the BRAVO-style sharded reader registration targets: pure parallel
+// reads (read-contended), oversubscribed parallel reads
+// (read-parallel-4x, 4 goroutines per P), and a 1-in-128-writes mix
+// (read-mostly) that keeps writer drains in the loop. The readermode
+// metric records the registration protocol the lock settled in
+// (2 = centralized CAS word, 3 = sharded per-P slots).
 func BenchmarkNativeRWMutex(b *testing.B) {
+	readerMode := func(b *testing.B, rw *reactive.RWMutex) {
+		b.ReportMetric(float64(rw.ReaderStats().Mode), "readermode")
+	}
 	b.Run("read-uncontended/reactive", func(b *testing.B) {
 		var rw reactive.RWMutex
 		for i := 0; i < b.N; i++ {
 			rw.RLock()
 			rw.RUnlock()
 		}
+		readerMode(b, &rw)
 	})
 	b.Run("read-uncontended/sync.RWMutex", func(b *testing.B) {
 		var rw sync.RWMutex
@@ -511,6 +550,7 @@ func BenchmarkNativeRWMutex(b *testing.B) {
 				rw.RUnlock()
 			}
 		})
+		readerMode(b, &rw)
 	})
 	b.Run("read-contended/sync.RWMutex", func(b *testing.B) {
 		var rw sync.RWMutex
@@ -520,5 +560,67 @@ func BenchmarkNativeRWMutex(b *testing.B) {
 				rw.RUnlock()
 			}
 		})
+	})
+	b.Run("read-parallel-4x/reactive", func(b *testing.B) {
+		var rw reactive.RWMutex
+		b.SetParallelism(4)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				rw.RLock()
+				rw.RUnlock()
+			}
+		})
+		readerMode(b, &rw)
+	})
+	b.Run("read-parallel-4x/sync.RWMutex", func(b *testing.B) {
+		var rw sync.RWMutex
+		b.SetParallelism(4)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				rw.RLock()
+				rw.RUnlock()
+			}
+		})
+	})
+	b.Run("read-mostly/reactive", func(b *testing.B) {
+		var rw reactive.RWMutex
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if i++; i%128 == 0 {
+					rw.Lock()
+					rw.Unlock()
+				} else {
+					rw.RLock()
+					rw.RUnlock()
+				}
+			}
+		})
+		readerMode(b, &rw)
+	})
+	b.Run("read-mostly/sync.RWMutex", func(b *testing.B) {
+		var rw sync.RWMutex
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if i++; i%128 == 0 {
+					rw.Lock()
+					rw.Unlock()
+				} else {
+					rw.RLock()
+					rw.RUnlock()
+				}
+			}
+		})
+	})
+	b.Run("read-sharded-forced/reactive", func(b *testing.B) {
+		rw := reactive.NewRWMutex(reactive.WithInitialMode(reactive.ModeSharded))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				rw.RLock()
+				rw.RUnlock()
+			}
+		})
+		readerMode(b, rw)
 	})
 }

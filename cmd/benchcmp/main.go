@@ -12,6 +12,12 @@
 // reported for trend reading only (CI runs this as a non-blocking step).
 // When the benchstat tool is installed, the native sections are
 // additionally rendered to Go benchmark format and handed to it.
+//
+// With -threshold <pct> the comparison becomes a regression gate: any
+// native measurement slower than the baseline by more than pct percent
+// is listed in a "regressions over threshold" section and the exit code
+// is 1, so a pipeline can surface (or block on) fast-path regressions
+// while still tolerating wall-clock noise below the threshold.
 package main
 
 import (
@@ -59,6 +65,8 @@ func load(path string) (*resultsDoc, error) {
 func main() {
 	oldPath := flag.String("old", "bench_baseline.json", "baseline results document")
 	newPath := flag.String("new", "bench_results.json", "fresh results document")
+	threshold := flag.Float64("threshold", 0,
+		"fail (exit 1) when a native measurement regresses beyond this percentage; 0 disables the gate")
 	flag.Parse()
 
 	oldDoc, err := load(*oldPath)
@@ -74,8 +82,19 @@ func main() {
 
 	compareTables(oldDoc, newDoc)
 	fmt.Println()
-	compareNative(oldDoc, newDoc)
+	regressions := compareNative(oldDoc, newDoc, *threshold)
 	runBenchstat(oldDoc, newDoc)
+	if *threshold > 0 {
+		fmt.Printf("\n== regressions over threshold (%.1f%%) ==\n", *threshold)
+		if len(regressions) == 0 {
+			fmt.Println("none")
+			return
+		}
+		for _, r := range regressions {
+			fmt.Println(r)
+		}
+		os.Exit(1)
+	}
 }
 
 // compareTables diffs the deterministic simulator section cell-by-cell.
@@ -167,14 +186,17 @@ func diffTable(oldRows, newRows [][]string) (changed int, maxDelta float64) {
 	return changed, maxDelta
 }
 
-// compareNative prints old/new/delta ns/op for the wall-clock section.
-func compareNative(oldDoc, newDoc *resultsDoc) {
+// compareNative prints old/new/delta ns/op for the wall-clock section
+// and returns the measurements that regressed beyond threshold percent
+// (none when the gate is disabled with threshold ≤ 0).
+func compareNative(oldDoc, newDoc *resultsDoc, threshold float64) []string {
 	fmt.Println("== native primitives (wall-clock; trend reading only) ==")
 	fmt.Printf("%-36s %12s %12s %9s\n", "name", "old ns/op", "new ns/op", "delta")
 	oldByName := map[string]float64{}
 	for _, r := range oldDoc.Native {
 		oldByName[r.Name] = r.NsPerOp
 	}
+	var regressions []string
 	for _, nr := range newDoc.Native {
 		ov, ok := oldByName[nr.Name]
 		if !ok {
@@ -184,13 +206,23 @@ func compareNative(oldDoc, newDoc *resultsDoc) {
 		delete(oldByName, nr.Name)
 		delta := "~"
 		if ov != 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*(nr.NsPerOp-ov)/ov)
+			pct := 100 * (nr.NsPerOp - ov) / ov
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			// Only this project's rows can regress from a code change;
+			// the stdlib baseline rows (/sync.Mutex, /atomic.Int64, ...)
+			// move only with host noise, so gating them would cry wolf.
+			if threshold > 0 && pct > threshold && strings.HasSuffix(nr.Name, "/reactive") {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.2f -> %.2f ns/op (%+.1f%% > +%.1f%%)",
+					nr.Name, ov, nr.NsPerOp, pct, threshold))
+			}
 		}
 		fmt.Printf("%-36s %12.2f %12.2f %9s\n", nr.Name, ov, nr.NsPerOp, delta)
 	}
 	for _, name := range sortedKeys(oldByName) {
 		fmt.Printf("%-36s %12.2f %12s %9s\n", name, oldByName[name], "-", "removed")
 	}
+	return regressions
 }
 
 // runBenchstat hands the native sections to benchstat when the tool is

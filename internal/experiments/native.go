@@ -123,6 +123,75 @@ func NativePrimitives() []NativeResult {
 			}
 		}))
 	}
+	// Forced-regime fast paths: primitives started in their scalable
+	// protocols with WithInitialMode, so the sharded/combining fast
+	// paths are measured even on hosts whose parallelism never triggers
+	// detection (a GOMAXPROCS=1 CI runner leaves every adaptive
+	// primitive in its cheap protocol). These rows are the regression
+	// gate for the per-P affinity substrate: they go through pin →
+	// per-P cell/slot → atomic op → unpin on every operation.
+	sc := reactive.NewCounter(reactive.WithInitialMode(reactive.ModeSharded))
+	out = append(out, measureNative("counter/sharded-forced/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			sc.Add(1)
+		}
+	}))
+	sf := reactive.NewFetchOp(func(a, b int64) int64 { return a + b }, 0,
+		reactive.WithInitialMode(reactive.ModeSharded))
+	out = append(out, measureNative("fetchop/sharded-forced/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			sf.Apply(1)
+		}
+	}))
+	// Combining regime with reconciling reads; the huge empty limit
+	// keeps the idle-sweep detection from demoting the protocol
+	// mid-measurement on a serial host (votes are still counted, so the
+	// detection cost stays on the measured path).
+	cf := reactive.NewFetchOp(func(a, b int64) int64 { return a + b }, 0,
+		reactive.WithInitialMode(reactive.ModeCombining), reactive.WithEmptyLimit(1<<30))
+	out = append(out, measureNative("fetchop/combining-forced/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			cf.Apply(1)
+			if i%64 == 0 {
+				cf.Value()
+			}
+		}
+	}))
+	srrw := reactive.NewRWMutex(reactive.WithInitialMode(reactive.ModeSharded))
+	out = append(out, measureNative("rwmutex/read-sharded-forced/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			srrw.RLock()
+			srrw.RUnlock()
+		}
+	}))
+	// Read-heavy parallel pressure with occasional writers: the regime
+	// RWMutex's sharded reader registration targets (parallel RLocks
+	// that would otherwise serialize on one centralized cache line,
+	// with enough writer drains to keep the whole protocol honest).
+	var rrw reactive.RWMutex
+	out = append(out, measureNative("rwmutex/read-heavy/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			if i%128 == 127 {
+				rrw.Lock()
+				rrw.Unlock()
+			} else {
+				rrw.RLock()
+				rrw.RUnlock()
+			}
+		}
+	}))
+	var srw sync.RWMutex
+	out = append(out, measureNative("rwmutex/read-heavy/sync.RWMutex", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			if i%128 == 127 {
+				srw.Lock()
+				srw.Unlock()
+			} else {
+				srw.RLock()
+				srw.RUnlock()
+			}
+		}
+	}))
 	// Mixed update+read pressure: the regime FetchOp's combining protocol
 	// targets (heavy Applies with frequent reconciling Values).
 	rf := reactive.NewFetchOp(func(a, b int64) int64 { return a + b }, 0)

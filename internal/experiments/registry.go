@@ -260,6 +260,12 @@ var Default = func() *Registry {
 		Groups: []string{"native"},
 		Run:    NativeFopPolicies,
 	})
+	r.Register(Spec{
+		Name: "native-rwmutex-trace", Figure: "Extension (modal engine)", Tool: ToolReactsim,
+		Title:  "Extension: native RWMutex reader-registration engine over a contention trace (centralized ↔ sharded slots)",
+		Groups: []string{"native"},
+		Run:    NativeRWReaderTrace,
+	})
 
 	// Chapter 4: waiting algorithms (waitsim).
 	r.Register(Spec{

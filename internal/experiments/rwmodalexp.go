@@ -1,0 +1,89 @@
+package experiments
+
+// Native RWMutex reader-registration modal experiment: a deterministic
+// drive of the reactive/modal engine over the native RWMutex's 2-mode
+// reader registration shape (centralized CAS word ↔ BRAVO-style per-P
+// slots). Like the fetch-op traces in modalexp.go, this exercises the
+// pure protocol-selection state machine on a seeded synthetic
+// contention trace, so its table is bit-deterministic and participates
+// in the registry's serial==parallel contract.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stats"
+	"repro/reactive"
+	"repro/reactive/modal"
+)
+
+// Native RWMutex reader-registration engine mode indices
+// (reactive.RWReaderTable's contract: index i is the public mode
+// reactive.ModeCAS + i).
+const (
+	rrCentral modal.Mode = 0
+	rrSharded modal.Mode = 1
+)
+
+// stepRWReaderEngine feeds the engine one synthetic detection event
+// drawn from contention level p, emulating RWMutex's registration
+// detection wiring: in centralized mode, p is the probability a reader
+// loses the registration CAS to another reader (vote toward sharded
+// slots); in sharded mode, 1-p is the probability a writer drain finds
+// the lock already quiet (vote back toward the centralized word). The
+// streak limits are the package defaults, as in the primitive.
+func stepRWReaderEngine(e *modal.Engine, t *modal.Table, rng *rand.Rand, p float64) {
+	const (
+		failLimit  = reactive.DefaultSpinFailLimit
+		emptyLimit = reactive.DefaultEmptyLimit
+	)
+	u := rng.Float64()
+	if e.Mode() == rrCentral {
+		if u < p {
+			if e.Vote(t, rrCentral, rrSharded, failLimit) {
+				e.TryCommit(t, rrCentral, rrSharded)
+			}
+		} else {
+			e.Good(t, rrCentral, rrSharded)
+		}
+		return
+	}
+	if u >= p {
+		if e.Vote(t, rrSharded, rrCentral, emptyLimit) {
+			e.TryCommit(t, rrSharded, rrCentral)
+		}
+	} else {
+		e.Good(t, rrSharded, rrCentral)
+	}
+}
+
+// NativeRWReaderTrace tabulates the reader-registration engine's
+// protocol selection across the shared contention trace, one row per
+// phase. The end-of-trace shape mirrors the primitive's intent: the
+// centralized word at idle, sharded slots under read saturation, and a
+// return to the centralized word when reader contention subsides.
+func NativeRWReaderTrace(sz Sizes) *stats.Table {
+	tab := reactive.RWReaderTable()
+	var e modal.Engine
+	rng := rand.New(rand.NewSource(int64(sz.Seed)))
+	t := &stats.Table{Header: []string{"phase", "contention", "end-mode", "%cas", "%sharded", "switches"}}
+	for _, ph := range modalPhases(sz) {
+		var residency [2]int
+		before := e.Switches()
+		for i := 0; i < ph.steps; i++ {
+			stepRWReaderEngine(&e, tab, rng, ph.p)
+			residency[e.Mode()]++
+		}
+		total := residency[0] + residency[1]
+		pct := func(m modal.Mode) string {
+			if total == 0 {
+				return "0.0"
+			}
+			return fmt.Sprintf("%.1f", 100*float64(residency[m])/float64(total))
+		}
+		t.AddRow(ph.name, fmt.Sprintf("%.2f", ph.p), modeName(e.Mode()),
+			pct(rrCentral), pct(rrSharded),
+			fmt.Sprintf("%d", e.Switches()-before))
+	}
+	return t
+}

@@ -25,6 +25,7 @@ func NewCounter(opts ...Option) *Counter {
 	c := &Counter{}
 	c.f.cfg.apply(opts)
 	c.f.eng.SetPolicy(c.f.cfg.pol)
+	c.f.applyInitMode()
 	return c
 }
 

@@ -1,10 +1,10 @@
 package reactive
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"repro/reactive/internal/affinity"
 	"repro/reactive/modal"
 )
 
@@ -86,7 +86,7 @@ type FetchOp struct {
 	// fopTable.
 	eng modal.Engine
 
-	cells      []fopCell // cell array (lazily created; cells hold id when empty)
+	cells      []affinity.Cell // cell array (lazily created; cells hold id when empty)
 	cellsOnce  sync.Once
 	cellsBuilt atomic.Bool
 
@@ -102,26 +102,6 @@ type FetchOp struct {
 	cfg config
 }
 
-// fopCell is one cell, padded to its own cache line so cells assigned to
-// different processors do not false-share.
-type fopCell struct {
-	v atomic.Int64
-	_ [56]byte
-}
-
-// stripe is a goroutine's cached cell assignment. Stripes live in a
-// sync.Pool, whose per-P caches give updates the processor affinity the
-// Go runtime does not expose directly: a goroutine usually gets back a
-// stripe last used on its current P, so cells behave like per-P
-// accumulators.
-type stripe struct{ idx uint32 }
-
-var stripeSeq atomic.Uint32
-
-var stripePool = sync.Pool{New: func() any {
-	return &stripe{idx: stripeSeq.Add(1)}
-}}
-
 // NewFetchOp builds a FetchOp over op and its identity element,
 // configured by opts. op must be associative and commutative and may be
 // called concurrently; identity must satisfy op(identity, x) == x.
@@ -134,7 +114,28 @@ func NewFetchOp(op func(a, b int64) int64, identity int64, opts ...Option) *Fetc
 	f.base.Store(identity)
 	f.cfg.apply(opts)
 	f.eng.SetPolicy(f.cfg.pol)
+	f.applyInitMode()
 	return f
+}
+
+// applyInitMode walks the transition chain to the configured initial
+// mode at construction time, before the accumulator is shared (a
+// WithInitialMode-built primitive skips the detection ramp; see the
+// option's documentation).
+func (f *FetchOp) applyInitMode() {
+	if !f.cfg.initModeSet {
+		return
+	}
+	switch f.cfg.initMode {
+	case ModeCAS: // the zero mode
+	case ModeSharded:
+		f.switchFop(fCAS, fSharded)
+	case ModeCombining:
+		f.switchFop(fCAS, fSharded)
+		f.switchFop(fSharded, fCombining)
+	default:
+		panic("reactive: Counter and FetchOp support initial modes ModeCAS, ModeSharded, and ModeCombining")
+	}
 }
 
 // comb applies the operation (addition when op is nil).
@@ -151,18 +152,14 @@ func (f *FetchOp) Stats() Stats {
 }
 
 // shardCells returns the cell array, creating it on first use. The array
-// is sized to the next power of two ≥ GOMAXPROCS at creation time, and
-// every cell starts at the identity element.
-func (f *FetchOp) shardCells() []fopCell {
+// is sized to affinity.Shards() (the next power of two ≥ GOMAXPROCS) at
+// creation time, and every cell starts at the identity element.
+func (f *FetchOp) shardCells() []affinity.Cell {
 	f.cellsOnce.Do(func() {
-		n := 2
-		for n < runtime.GOMAXPROCS(0) {
-			n *= 2
-		}
-		cells := make([]fopCell, n)
+		cells := make([]affinity.Cell, affinity.Shards())
 		if f.id != 0 {
 			for i := range cells {
-				cells[i].v.Store(f.id)
+				cells[i].N.Store(f.id)
 			}
 		}
 		f.cells = cells
@@ -172,7 +169,7 @@ func (f *FetchOp) shardCells() []fopCell {
 }
 
 // builtCells returns the cell array if it has ever been created, else nil.
-func (f *FetchOp) builtCells() []fopCell {
+func (f *FetchOp) builtCells() []affinity.Cell {
 	if !f.cellsBuilt.Load() {
 		return nil
 	}
@@ -203,7 +200,7 @@ func (f *FetchOp) Apply(x int64) {
 // completion.
 func (f *FetchOp) applyContended(x int64) {
 	var bo modal.Backoff
-	bo.Max = 16
+	bo.Max = backoffCeiling
 	for {
 		if f.eng.Mode() != fCAS {
 			f.Apply(x) // mode changed under us: redispatch
@@ -228,19 +225,25 @@ func (f *FetchOp) noteContendedApply() {
 	}
 }
 
-// applyCell folds x into this goroutine's cell. Cell updates are
-// uncontended in the common case: the stripe pool hands each P its own
-// recently-used cell index.
+// applyCell folds x into the current processor's cell, selected through
+// the affinity substrate: pin → exact per-P cell index → atomic update →
+// unpin. Truly-uncontended sharded updates are collision-free by
+// construction — two updaters can hit one cell only by sharing a P (or
+// under the stripe-hash fallback). The add specialization runs its
+// single atomic instruction pinned; a user-supplied op must not run
+// pinned (it is arbitrary code and pinning disables preemption), so the
+// generic path unpins after selecting the cell and lets casFold's retry
+// loop absorb the rare migration collision.
 func (f *FetchOp) applyCell(x int64) {
 	cells := f.shardCells()
-	s := stripePool.Get().(*stripe)
-	c := &cells[int(s.idx)&(len(cells)-1)]
+	c := &cells[affinity.Pin()&(len(cells)-1)]
 	if f.op == nil {
-		c.v.Add(x)
-	} else {
-		casFold(&c.v, f.op, x)
+		c.N.Add(x)
+		affinity.Unpin()
+		return
 	}
-	stripePool.Put(s)
+	affinity.Unpin()
+	casFold(&c.N, f.op, x)
 }
 
 // applyCombining is the combining protocol's update: deposit into a cell
@@ -282,7 +285,7 @@ func (f *FetchOp) foldCells() (active int) {
 	moved := f.id
 	any := false
 	for i := range cells {
-		if v := cells[i].v.Swap(f.id); v != f.id {
+		if v := cells[i].N.Swap(f.id); v != f.id {
 			moved = f.comb(moved, v)
 			active++
 			any = true
@@ -349,7 +352,7 @@ func (f *FetchOp) Value() int64 {
 	// started), and a trailing Value sweeping just-emptied cells must not
 	// mistake the empty sweep for low contention.
 	var bo modal.Backoff
-	bo.Max = 16
+	bo.Max = backoffCeiling
 	for !f.sweepLock.CompareAndSwap(0, 1) {
 		bo.Pause()
 	}

@@ -119,7 +119,7 @@ func TestFetchOpDetectionChain(t *testing.T) {
 	cells := f.shardCells()
 	for round := 0; round < 2; round++ {
 		for i := range cells {
-			cells[i].v.Add(1)
+			cells[i].N.Add(1)
 		}
 		f.Value()
 	}

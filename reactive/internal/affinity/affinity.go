@@ -1,0 +1,66 @@
+// Package affinity is the per-P shard-index substrate shared by the
+// sharded protocols of package reactive (FetchOp/Counter cells, RWMutex
+// reader slots).
+//
+// A sharded protocol scales only if concurrently-updating processors
+// land on different shards. The Go runtime does not expose a processor
+// id, but it does expose — to the standard library — the pin/unpin pair
+// sync.Pool's per-P caches are built on: runtime.procPin disables
+// preemption and returns the current P's index, runtime.procUnpin
+// re-enables it. Pin/Unpin link against exactly that pair (the
+// sync.runtime_procPin linkname the runtime pushes for package sync),
+// so between Pin and Unpin the shard index is the *exact* current
+// processor: two goroutines can collide on a shard only by genuinely
+// sharing a P. The previous scheme — a sync.Pool of cached stripe
+// indices — paid a pool Get/Put plus an interface assertion per
+// operation and only approximated affinity through the pool's caches.
+//
+// Because Pin disables preemption, the code between Pin and Unpin must
+// be short and must not block, park, or call arbitrary user code
+// (blocking while pinned is a runtime fatal error). Callers that need
+// to run user-supplied operations take the index while pinned, Unpin,
+// and then operate on the chosen shard unpinned: the index degrades
+// from "exact" to "exact at selection time", and the shard's own
+// atomics absorb the rare migration race.
+//
+// The build tags purego and reactive_noprocpin select a portable
+// fallback with the same API that degrades to the old stripe-hash
+// scheme (a sync.Pool of cached indices), so the package builds on
+// toolchains where the linkname is unavailable. Exact reports which
+// implementation is in effect.
+package affinity
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// CacheLineSize is the coherence-granule separation the padded per-P
+// structures built on this package assume. 128 bytes covers CPUs with
+// 128-byte coherence granules (Apple silicon's 128-byte lines, POWER's
+// and some ARM server cores' line pairs) as well as the common 64-byte
+// case with a spatial-prefetcher guard line, so adjacent shards never
+// false-share.
+const CacheLineSize = 128
+
+// Cell is one per-P shard: an accumulator word padded out to a full
+// coherence granule so adjacent cells never false-share. Both sharded
+// protocols in package reactive (FetchOp/Counter cells, RWMutex reader
+// slots) use this one type, so the layout rule lives in one place.
+type Cell struct {
+	N atomic.Int64
+	_ [CacheLineSize - 8]byte
+}
+
+// Shards returns the shard-array size the current process warrants: the
+// next power of two ≥ GOMAXPROCS(0), and at least 2. Masking a Pin
+// index by (Shards()-1) is collision-free while GOMAXPROCS does not
+// grow after the array is built; if it does grow, distinct Ps may wrap
+// onto shared shards — correct, merely less parallel.
+func Shards() int {
+	n := 2
+	for n < runtime.GOMAXPROCS(0) {
+		n *= 2
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+// Empty assembly file: its presence lets pin_runtime.go declare the
+// bodyless linkname functions (the compiler requires an assembly file
+// in any package that declares a function without a body).

@@ -11,6 +11,8 @@ type config struct {
 	emptyLimit    int32
 	pollIters     int32
 	pol           policy.Policy
+	initMode      Mode
+	initModeSet   bool
 }
 
 // An Option configures an adaptive primitive built by New, NewCounter,
@@ -72,6 +74,30 @@ func WithPollIters(n int) Option {
 // transition table.
 func WithPolicy(p policy.Policy) Option {
 	return func(c *config) { c.pol = p }
+}
+
+// WithInitialMode starts a primitive in mode m instead of its cheapest
+// protocol, walking the transition chain at construction time (when no
+// concurrent use exists yet). A workload that is known to arrive
+// already contended can skip the detection ramp — the reactive
+// framework's static protocols are exactly its baselines — and
+// benchmark harnesses can measure a specific protocol's fast path
+// regardless of whether the host's parallelism would trigger detection.
+// The primitive stays fully adaptive afterward: detection may move it
+// away from m (pair with WithPolicy to bias how readily).
+//
+// Valid modes per constructor: New accepts ModeSpin and ModePark;
+// NewCounter and NewFetchOp accept ModeCAS, ModeSharded, and
+// ModeCombining; NewRWMutex accepts ModeSpin/ModePark (the reader wait
+// protocol) or ModeCAS/ModeSharded (the reader registration protocol) —
+// the two mode spaces are disjoint, so one option configures either
+// engine. The constructor panics on a mode the primitive has no
+// protocol for.
+func WithInitialMode(m Mode) Option {
+	if m > ModeCombining {
+		panic("reactive: WithInitialMode requires a valid Mode")
+	}
+	return func(c *config) { c.initMode = m; c.initModeSet = true }
 }
 
 // apply folds opts into a config.

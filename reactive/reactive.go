@@ -23,19 +23,24 @@
 //     heuristics. Mutex selects between barging spin and FIFO parking,
 //     Counter and FetchOp among a single compare-and-swap word, sharded
 //     per-processor cells, and batched combining, and RWMutex between
-//     spinning and parking readers; and
+//     spinning and parking readers and, orthogonally, between a
+//     centralized reader count and BRAVO-style sharded per-processor
+//     reader slots; and
 //   - two-phase waiting wherever a primitive blocks, with Lpoll expressed
 //     in spin iterations calibrated against the parking cost.
 //
 // The zero value of each type is ready to use with the package-default
 // tunables. New, NewCounter, NewRWMutex, and NewFetchOp accept Options
 // that change the detection thresholds (WithSpinFailLimit,
-// WithEmptyLimit), the polling budget (WithPollIters), or replace the
-// built-in streak detection with any policy from the reactive/policy
-// package (WithPolicy) — the same Policy interface the simulator's
-// reactive algorithms consume. All mode changes, in every primitive, go
-// through the same reactive/modal transition engine the simulator's
-// algorithms validate against.
+// WithEmptyLimit), the polling budget (WithPollIters), the starting
+// protocol (WithInitialMode), or replace the built-in streak detection
+// with any policy from the reactive/policy package (WithPolicy) — the
+// same Policy interface the simulator's reactive algorithms consume.
+// All mode changes, in every primitive, go through the same
+// reactive/modal transition engine the simulator's algorithms validate
+// against, and the sharded protocols select their per-processor shard
+// through one affinity substrate (reactive/internal/affinity, the
+// runtime's procPin pair with a portable fallback).
 package reactive
 
 import (
@@ -61,7 +66,9 @@ type Mode uint32
 
 // Protocol modes. Mutex and RWMutex alternate between ModeSpin and
 // ModePark; Counter and FetchOp move along the chain ModeCAS ↔
-// ModeSharded ↔ ModeCombining.
+// ModeSharded ↔ ModeCombining; RWMutex's reader registration protocol
+// (ReaderStats) alternates between ModeCAS (centralized word) and
+// ModeSharded (per-P slots).
 const (
 	// ModeSpin is the test-and-test-and-set analogue: waiters spin with
 	// randomized exponential backoff; unlock releases the lock word for
@@ -146,6 +153,16 @@ const (
 	DefaultPollIters = 60
 )
 
+// backoffCeiling caps the mean pause length (modal.Backoff.Max, in
+// scheduler yields) of every short-term retry loop in this package —
+// contended CAS-mode updates, reconciling-sweep lock acquisition, and
+// gate-blocked reader spins. It is deliberately below
+// modal.DefaultBackoffMax: these loops guard windows a peer exits
+// quickly (one CAS, one sweep, one writer critical section), so long
+// pauses only add latency. One constant so the ceiling is tuned in one
+// place.
+const backoffCeiling = 16
+
 // Mutex is a reactive mutual-exclusion lock. The zero value is an unlocked
 // mutex in spin mode with the package-default tunables; New builds one
 // with explicit Options. A Mutex must not be copied after first use.
@@ -171,6 +188,15 @@ func New(opts ...Option) *Mutex {
 	m := &Mutex{}
 	m.cfg.apply(opts)
 	m.eng.SetPolicy(m.cfg.pol)
+	if m.cfg.initModeSet {
+		switch m.cfg.initMode {
+		case ModeSpin: // the zero mode
+		case ModePark:
+			m.eng.TryCommit(spinParkTable, mSpin, mPark)
+		default:
+			panic("reactive: New supports initial modes ModeSpin and ModePark")
+		}
+	}
 	return m
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/reactive/internal/affinity"
 	"repro/reactive/modal"
 )
 
@@ -13,9 +14,37 @@ import (
 // readers.
 const rwBias = 1 << 29
 
+// Engine-local mode indices for the reader-registration modal object.
+// The public Stats mapping (ReaderStats) is ModeCAS + index, matching
+// FetchOp's convention: the centralized word is the cheap single-word
+// protocol, the per-P slots the sharded one.
+const (
+	rCentral modal.Mode = 0
+	rSharded modal.Mode = 1
+)
+
+// readerShardTable is the 2-mode transition table of RWMutex's reader
+// registration protocol (centralized word ↔ BRAVO-style per-P slots),
+// orthogonal to the spin↔park wait table the same type also runs on.
+var readerShardTable = modal.NewTable(2, []modal.Transition{
+	{From: rCentral, To: rSharded, Dir: dirScaleUp, Residual: ResidualCheapHigh},
+	{From: rSharded, To: rCentral, Dir: dirScaleDown, Residual: ResidualScalableLow},
+})
+
+// RWReaderTable returns the transition table RWMutex's reader
+// registration protocol runs on: mode index 0 = ModeCAS (centralized
+// word), 1 = ModeSharded (per-P slots) — mode index i is the public
+// mode ModeCAS + i, matching FetchOpTable's convention. The table is
+// immutable and shared; it is exported so harnesses and experiments can
+// drive the exact state machine the primitive uses rather than a
+// hand-maintained copy.
+func RWReaderTable() *modal.Table { return readerShardTable }
+
 // RWMutex is a reactive reader/writer lock. Writers are serialized by an
-// embedded reactive Mutex (itself adaptive); the reactive choice this type
-// adds is *how readers wait* when a writer has claimed the lock:
+// embedded reactive Mutex (itself adaptive); on top of that this type
+// runs two orthogonal modal objects over its readers:
+//
+// How readers *wait* when a writer has claimed the lock (Stats):
 //
 //   - ModeSpin — readers spin with randomized exponential backoff until
 //     the writer's release lets them re-register. Cheapest when writer
@@ -25,35 +54,74 @@ const rwBias = 1 << 29
 //     Scalable when writers hold the lock long enough that spinning
 //     readers burn whole scheduler quanta.
 //
-// Detection mirrors Mutex: a reader whose wait exceeded the polling budget
-// votes toward ModePark (SpinFailLimit consecutive such waits switch); a
-// writer release that found no parked readers votes toward ModeSpin
-// (EmptyLimit consecutive such releases switch back).
+// How readers *register* when no writer is about (ReaderStats):
 //
-// Readers register by compare-and-swap from a non-negative count, never by
-// a blind increment, so a reader can become active only while no writer
-// claim is in place, and a writer enters its critical section only after
-// the count shows zero active readers — mutual exclusion holds by
-// construction. The cost is that writers are strictly preferred: readers
-// arriving during a writer's drain or hold wait for its release, and a
-// stream of back-to-back writers can keep readers waiting longer than
-// sync.RWMutex would.
+//   - ModeCAS — readers compare-and-swap one centralized reader count.
+//     Cheapest for occasional reads, but every RLock/RUnlock from every
+//     core bounces that one cache line.
+//   - ModeSharded — BRAVO-style sharded registration: each reader
+//     deposits a +1 in its processor's padded slot (selected through the
+//     per-P affinity substrate) and a writer drains by sweeping the
+//     slots. Read-dominated workloads scale with cores instead of
+//     serializing on coherence traffic; writers pay a slot sweep.
 //
-// The zero value is an unlocked RWMutex in spin mode with the
-// package-default tunables; NewRWMutex builds one with explicit Options.
-// An RWMutex must not be copied after first use. As with sync.RWMutex,
-// recursive read locking is not supported: if a goroutine holds the read
-// lock and a writer is waiting, a nested RLock deadlocks.
+// Wait-protocol detection mirrors Mutex: a reader whose wait exceeded
+// the polling budget votes toward ModePark (SpinFailLimit consecutive
+// such waits switch); a writer release that found no parked readers
+// votes toward ModeSpin (EmptyLimit consecutive such releases switch
+// back). Registration detection: a reader whose centralized CAS lost to
+// another *reader* votes toward ModeSharded (SpinFailLimit consecutive
+// losses switch); a writer whose drain found the lock already quiet
+// votes toward ModeCAS (EmptyLimit consecutive quiet drains switch
+// back). Registration-protocol changes are committed only under full
+// writer exclusion, so no reader's RLock/RUnlock pair ever spans one.
+//
+// Readers register by compare-and-swap from a non-negative count (or by
+// a slot deposit re-validated against the writer claim), never by a
+// blind increment, so a reader can become active only while no writer
+// claim is in place, and a writer enters its critical section only
+// after the centralized count and every slot show zero active readers —
+// mutual exclusion holds by construction. The cost is that writers are
+// strictly preferred: readers arriving during a writer's drain or hold
+// wait for its release, and a stream of back-to-back writers can keep
+// readers waiting longer than sync.RWMutex would.
+//
+// The zero value is an unlocked RWMutex in spin mode with centralized
+// registration and the package-default tunables; NewRWMutex builds one
+// with explicit Options. An RWMutex must not be copied after first use.
+// As with sync.RWMutex, recursive read locking is prohibited: if a
+// goroutine holds the read lock while anything performs a write
+// acquisition — an application writer, or a reader-driven registration
+// protocol change, which takes the write lock itself — a nested RLock
+// deadlocks, so even a writer-free program must not nest read locks.
+// Calling RUnlock without a matching RLock panics in centralized mode;
+// in sharded mode it is undetectable (the slots admit no cheap
+// per-reader check) and leaves the lock permanently wedged.
 type RWMutex struct {
 	w Mutex // serializes writers; adaptive in its own right
 
-	// readerCount is the number of active readers, minus rwBias while a
-	// writer has claimed the lock.
+	// readerCount is the centralized registration word: the number of
+	// centrally-registered active readers, minus rwBias while a writer
+	// has claimed the lock. The claim bit doubles as the gate sharded
+	// readers validate against, so the word stays authoritative for
+	// writer exclusion in both registration modes.
 	readerCount atomic.Int32
 
-	// eng is the modal-object engine selecting the reader wait protocol;
-	// all protocol changes go through its consensus CAS.
-	eng modal.Engine
+	// eng selects the reader *wait* protocol (spin ↔ park); reng selects
+	// the reader *registration* protocol (centralized ↔ sharded). All
+	// protocol changes go through the respective engine's consensus CAS.
+	eng  modal.Engine
+	reng modal.Engine
+
+	// slots are the per-P reader-registration slots (lazily built, one
+	// coherence granule each). Slot values are deltas, not occupancies:
+	// a reader may deposit its +1 in one slot and its -1 in another
+	// after migrating, so only the sum is meaningful — zero iff no
+	// sharded reader is active (see drainReaders for why a sweep cannot
+	// misread that).
+	slots     []affinity.Cell
+	slotsOnce sync.Once
+	slotsUp   atomic.Bool
 
 	mu       sync.Mutex // guards rcond's wait/broadcast ordering
 	rcond    *sync.Cond // parked readers (lazily created)
@@ -69,23 +137,48 @@ type RWMutex struct {
 
 // NewRWMutex builds an RWMutex configured by opts. NewRWMutex() with no
 // options is equivalent to a zero-value RWMutex. The threshold and
-// polling options also configure the embedded writer mutex. A policy
-// installed with WithPolicy governs only the reader protocol: policy
-// instances must not be shared between primitives, so the writer mutex
-// always uses the built-in streak detection (with the same thresholds).
+// polling options also configure the embedded writer mutex and the
+// registration protocol's streaks. A policy installed with WithPolicy
+// governs only the reader wait protocol: policy instances must not be
+// shared between primitives — or between the engines of one primitive —
+// so the writer mutex and the registration engine always use the
+// built-in streak detection (with the same thresholds).
 func NewRWMutex(opts ...Option) *RWMutex {
 	rw := &RWMutex{}
 	rw.cfg.apply(opts)
 	rw.eng.SetPolicy(rw.cfg.pol)
 	rw.w.cfg = rw.cfg
 	rw.w.cfg.pol = nil
+	rw.w.cfg.initModeSet = false
+	if rw.cfg.initModeSet {
+		switch rw.cfg.initMode {
+		case ModeSpin, ModeCAS: // the zero modes of the two engines
+		case ModePark:
+			rw.eng.TryCommit(spinParkTable, mSpin, mPark)
+		case ModeSharded:
+			// Sound without writer exclusion only because the lock is
+			// not yet shared: no reader exists to span the commit.
+			rw.readerSlots()
+			rw.reng.TryCommit(readerShardTable, rCentral, rSharded)
+		default:
+			panic("reactive: NewRWMutex supports initial modes ModeSpin, ModePark, ModeCAS, and ModeSharded")
+		}
+	}
 	return rw
 }
 
-// Stats returns a snapshot of the reader wait protocol's adaptive state.
-// The embedded writer mutex keeps its own statistics.
+// Stats returns a snapshot of the reader wait protocol's adaptive state
+// (ModeSpin or ModePark). The embedded writer mutex keeps its own
+// statistics; ReaderStats reports the registration protocol.
 func (rw *RWMutex) Stats() Stats {
 	return Stats{Mode: Mode(rw.eng.Mode()), Switches: rw.eng.Switches()}
+}
+
+// ReaderStats returns a snapshot of the reader registration protocol's
+// adaptive state: ModeCAS while readers register on the centralized
+// word, ModeSharded while they register in per-P slots.
+func (rw *RWMutex) ReaderStats() Stats {
+	return Stats{Mode: ModeCAS + Mode(rw.reng.Mode()), Switches: rw.reng.Switches()}
 }
 
 func (rw *RWMutex) readerCond() *sync.Cond {
@@ -101,63 +194,191 @@ func (rw *RWMutex) writerSema() chan struct{} {
 	return rw.wsema
 }
 
+// readerSlots returns the slot array, creating it on first use, sized to
+// affinity.Shards() (the next power of two ≥ GOMAXPROCS).
+func (rw *RWMutex) readerSlots() []affinity.Cell {
+	rw.slotsOnce.Do(func() {
+		rw.slots = make([]affinity.Cell, affinity.Shards())
+		rw.slotsUp.Store(true)
+	})
+	return rw.slots
+}
+
 // RLock acquires the lock for reading.
 //
-// The fast path records no detection event: unlike Mutex, an unblocked
-// read says nothing about how long readers wait *when they do collide
-// with a writer* — and the spin-vs-park choice depends on that
-// conditional waiting time (Chapter 4's two-phase analysis), not on how
-// often collisions happen. The over-budget streak is therefore counted
-// across slow-path waits only, and broken by a slow-path wait that
-// completed within the budget (see rlockSlow).
+// The fast path records no wait-protocol detection event: unlike Mutex,
+// an unblocked read says nothing about how long readers wait *when they
+// do collide with a writer* — and the spin-vs-park choice depends on
+// that conditional waiting time (Chapter 4's two-phase analysis), not on
+// how often collisions happen. The over-budget streak is therefore
+// counted across slow-path waits only, and broken by a slow-path wait
+// that completed within the budget (see rlockSlow). Registration
+// detection likewise lives in the slow path: only a CAS lost to another
+// reader signals that the centralized word is the bottleneck.
 func (rw *RWMutex) RLock() {
-	if v := rw.readerCount.Load(); v >= 0 && rw.readerCount.CompareAndSwap(v, v+1) {
-		return
+	if rw.reng.Mode() == rSharded {
+		if rw.rlockSharded() {
+			return
+		}
+	} else if v := rw.readerCount.Load(); v >= 0 && rw.readerCount.CompareAndSwap(v, v+1) {
+		// Re-validate the mode: the read that chose the centralized
+		// protocol may predate a commit to sharded whose writer has
+		// since released. Our +1 is registered, so the mode is frozen
+		// from here until RUnlock (a commit's drain cannot pass it);
+		// if the re-check still says centralized, RUnlock will too.
+		if rw.reng.Mode() == rCentral {
+			return
+		}
+		rw.runlockCentral()
 	}
 	rw.rlockSlow()
+}
+
+// rlockSharded attempts one sharded-mode registration: deposit a +1 in
+// this P's slot, then validate that no writer claim is in place and the
+// registration protocol is still sharded. Either validation failing
+// undoes the deposit and reports false (slow path).
+//
+// The validation order is what makes the writer's sweep exclusion-safe:
+// the deposit happens before the gate load, and the writer sets the
+// gate before sweeping, so a reader that observed the gate clear has
+// its +1 visible to every sweep of that drain — and once registered,
+// the mode cannot change until this reader RUnlocks, because every
+// registration-protocol commit happens under a full writer drain that
+// this +1 blocks. RUnlock therefore always observes the same mode the
+// registration used.
+func (rw *RWMutex) rlockSharded() bool {
+	slots := rw.readerSlots()
+	s := &slots[affinity.Pin()&(len(slots)-1)]
+	// Deposit and validate while still pinned (three atomic ops, no
+	// user code): preemption cannot widen the window in which a
+	// sweeping writer sees a deposit whose gate check is still pending.
+	s.N.Add(1)
+	if rw.readerCount.Load() >= 0 && rw.reng.Mode() == rSharded {
+		affinity.Unpin()
+		return true
+	}
+	affinity.Unpin()
+	rw.runlockSharded(s)
+	return false
+}
+
+// runlockSharded releases one sharded registration (or undoes a failed
+// one) and nudges a draining writer to re-sweep.
+func (rw *RWMutex) runlockSharded(s *affinity.Cell) {
+	s.N.Add(-1)
+	if rw.readerCount.Load() < 0 {
+		// A writer is draining and may be parked on the semaphore
+		// waiting for the slot sum to reach zero; wake it to re-sweep.
+		// A stale token is consumed harmlessly (the drain re-checks).
+		select {
+		case rw.writerSema() <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// runlockCentral releases one centralized registration (or undoes a
+// stale one), waking a draining writer when the last reader leaves.
+func (rw *RWMutex) runlockCentral() {
+	r := rw.readerCount.Add(-1)
+	if r >= 0 {
+		return
+	}
+	if r == -1 || r < -rwBias {
+		panic("reactive: RUnlock of unlocked RWMutex")
+	}
+	// A writer is draining; if this was the last active reader, wake it.
+	if r == -rwBias {
+		select {
+		case rw.writerSema() <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // TryRLock attempts to acquire the lock for reading without waiting.
 func (rw *RWMutex) TryRLock() bool {
 	for {
+		if rw.reng.Mode() == rSharded {
+			if rw.rlockSharded() {
+				return true
+			}
+			if rw.readerCount.Load() < 0 {
+				return false // writer claim in place
+			}
+			continue // registration protocol changed under us: redispatch
+		}
 		v := rw.readerCount.Load()
 		if v < 0 {
 			return false
 		}
 		if rw.readerCount.CompareAndSwap(v, v+1) {
-			return true
+			if rw.reng.Mode() == rCentral {
+				return true
+			}
+			rw.runlockCentral() // stale centralized registration: redispatch
 		}
 	}
 }
 
-// rlockSlow waits for the writer claim to clear and re-registers. Only
-// iterations spent blocked by a writer (negative count) consume the
-// polling budget; reader-reader CAS races retry immediately.
+// rlockSlow waits for the writer claim to clear and re-registers under
+// whichever registration protocol is then selected. Only iterations
+// spent blocked by a writer (negative centralized count) consume the
+// polling budget; reader-reader CAS races retry immediately — but each
+// loss to another reader is exactly the coherence traffic the sharded
+// protocol removes, so it votes toward sharded registration.
 func (rw *RWMutex) rlockSlow() {
 	budget := int(rw.cfg.pollBudget())
 	blocked := 0
+	casLosses := 0
 	var bo modal.Backoff
-	bo.Max = 16
+	bo.Max = backoffCeiling
 	for {
-		v := rw.readerCount.Load()
-		if v >= 0 {
-			if !rw.readerCount.CompareAndSwap(v, v+1) {
+		if rw.readerCount.Load() >= 0 {
+			// No writer claim: attempt a registration under the current
+			// protocol. Failures here are races (a claiming writer, a
+			// protocol change, another reader's CAS), not waits.
+			if rw.reng.Mode() == rSharded {
+				if rw.rlockSharded() {
+					rw.noteReadWait(blocked, budget)
+					return
+				}
 				continue
 			}
-			// Acquired. A wait that exceeded the polling budget means a
-			// spinning reader burned more than Lpoll: sub-optimal, vote
-			// toward the parking protocol. Detection is mode-directional:
-			// spin mode monitors the cheap→scalable direction only.
-			if rw.eng.Mode() == mSpin {
-				if blocked > budget {
-					if rw.eng.Vote(spinParkTable, mSpin, mPark, rw.cfg.failLimit()) {
-						rw.switchRWMode(ModeSpin, ModePark)
-					}
-				} else {
-					rw.eng.Good(spinParkTable, mSpin, mPark)
-				}
+			v := rw.readerCount.Load()
+			if v < 0 {
+				continue
 			}
-			return
+			if rw.readerCount.CompareAndSwap(v, v+1) {
+				if rw.reng.Mode() != rCentral {
+					rw.runlockCentral() // stale: redispatch sharded
+					continue
+				}
+				if casLosses == 0 {
+					// A loss-free registration breaks the reader-contention
+					// streak, so only *consecutive* losses — not losses
+					// accumulated over the lock's lifetime — reach the
+					// switch threshold.
+					rw.reng.Good(readerShardTable, rCentral, rSharded)
+				}
+				rw.noteReadWait(blocked, budget)
+				return
+			}
+			if rw.readerCount.Load() < 0 {
+				// The CAS lost to a writer's claim, not to another
+				// reader: that is the wait protocol's signal (counted at
+				// the top of the loop), not registration contention.
+				continue
+			}
+			// Lost the centralized word to another reader: the cheap
+			// registration protocol is serializing readers on one cache
+			// line — the regime sharded slots are built for.
+			casLosses++
+			if rw.reng.Vote(readerShardTable, rCentral, rSharded, rw.cfg.failLimit()) {
+				rw.switchReaderMode(rCentral, rSharded)
+			}
+			continue
 		}
 		if rw.eng.Mode() == mPark && blocked >= budget {
 			rw.rlockPark()
@@ -165,6 +386,25 @@ func (rw *RWMutex) rlockSlow() {
 		}
 		blocked++
 		bo.Pause()
+	}
+}
+
+// noteReadWait runs the wait-protocol detection on one completed
+// slow-path read acquisition: a wait that exceeded the polling budget
+// means a spinning reader burned more than Lpoll — sub-optimal, vote
+// toward the parking protocol; a within-budget wait breaks the streak.
+// Detection is mode-directional: spin mode monitors the cheap→scalable
+// direction only.
+func (rw *RWMutex) noteReadWait(blocked, budget int) {
+	if rw.eng.Mode() != mSpin {
+		return
+	}
+	if blocked > budget {
+		if rw.eng.Vote(spinParkTable, mSpin, mPark, rw.cfg.failLimit()) {
+			rw.switchRWMode(ModeSpin, ModePark)
+		}
+	} else {
+		rw.eng.Good(spinParkTable, mSpin, mPark)
 	}
 }
 
@@ -183,29 +423,30 @@ func (rw *RWMutex) rlockPark() {
 	c.L.Unlock()
 }
 
-// RUnlock releases one read hold.
+// RUnlock releases one read hold. The registration mode it observes is
+// the one RLock registered under: a registered reader blocks every
+// registration-protocol commit until it releases (see rlockSharded).
 func (rw *RWMutex) RUnlock() {
-	r := rw.readerCount.Add(-1)
-	if r >= 0 {
+	if rw.reng.Mode() == rSharded {
+		slots := rw.readerSlots()
+		s := &slots[affinity.Pin()&(len(slots)-1)]
+		affinity.Unpin()
+		rw.runlockSharded(s)
 		return
 	}
-	if r == -1 || r < -rwBias {
-		panic("reactive: RUnlock of unlocked RWMutex")
-	}
-	// A writer is draining; if this was the last active reader, wake it.
-	if r == -rwBias {
-		select {
-		case rw.writerSema() <- struct{}{}:
-		default:
-		}
-	}
+	rw.runlockCentral()
 }
 
 // Lock acquires the lock for writing.
 func (rw *RWMutex) Lock() {
 	rw.w.Lock()
 	// Claim the lock; new readers now wait. Then drain active readers.
-	if rw.readerCount.Add(-rwBias) != -rwBias {
+	// Once the slots exist the sweep is permanent, whatever the current
+	// registration mode: a reader that observed the sharded mode may
+	// deposit into a slot arbitrarily late, so no later drain may skip
+	// the slots without risking lost exclusion (the same reasoning as
+	// FetchOp.Value's permanent reconciliation).
+	if rw.readerCount.Add(-rwBias) != -rwBias || rw.slotsUp.Load() {
 		rw.drainReaders()
 	}
 }
@@ -219,23 +460,75 @@ func (rw *RWMutex) TryLock() bool {
 		rw.w.Unlock()
 		return false
 	}
+	if rw.slotSum() != 0 {
+		// Active sharded readers (or a transient deposit): with the
+		// claim already in place a single sweep reading zero proves
+		// quiescence, so a nonzero read means waiting — undo and fail.
+		rw.readerCount.Add(rwBias)
+		// A park-mode reader may have parked during the transient
+		// claim; without this wake only a later writer's release would
+		// free it.
+		if rw.condUp.Load() && rw.rwaiters.Load() > 0 {
+			rw.mu.Lock()
+			rw.rcond.Broadcast()
+			rw.mu.Unlock()
+		}
+		rw.w.Unlock()
+		return false
+	}
 	return true
 }
 
-// drainReaders waits for the active readers to release, two-phase: poll
-// through the budget, then park on the writer semaphore the last draining
-// reader signals.
-func (rw *RWMutex) drainReaders() {
-	if modal.Poll(rw.cfg.pollBudget(), func() bool {
-		return rw.readerCount.Load() == -rwBias
-	}) {
-		return
+// slotSum sweeps the reader slots. With the writer claim in place the
+// sum cannot misread zero while a sharded reader is active: registered
+// deposits all precede the claim (a reader validates the gate after
+// depositing), so every sweep read includes them, and each release
+// decrement is paired with a deposit the sweep also saw. Transient
+// deposit/undo pairs can only inflate the sum — a conservative re-sweep,
+// never a lost reader.
+func (rw *RWMutex) slotSum() int64 {
+	if !rw.slotsUp.Load() {
+		return 0
 	}
-	sema := rw.writerSema()
-	for rw.readerCount.Load() != -rwBias {
-		// A stale token (from a drain that finished by polling) is
-		// consumed harmlessly: the loop re-checks before parking again.
-		<-sema
+	var sum int64
+	for i := range rw.slots {
+		sum += rw.slots[i].N.Load()
+	}
+	return sum
+}
+
+// drained reports whether every active reader — centrally registered or
+// slot-registered — has released.
+func (rw *RWMutex) drained() bool {
+	return rw.readerCount.Load() == -rwBias && rw.slotSum() == 0
+}
+
+// drainReaders waits for the active readers to release, two-phase: poll
+// through the budget, then park on the writer semaphore that the last
+// draining reader (central or sharded) signals. It also runs the
+// registration protocol's scale-down detection: a drain that found the
+// lock already quiet means the slot machinery went unused across a whole
+// writer round — EmptyLimit consecutive such drains retire the sharded
+// protocol. The commit happens right here, under the writer's own
+// exclusion (claim in place, drain complete), so no reader can span it.
+func (rw *RWMutex) drainReaders() {
+	idle := rw.drained()
+	if !idle && !modal.Poll(rw.cfg.pollBudget(), rw.drained) {
+		sema := rw.writerSema()
+		for !rw.drained() {
+			// A stale token (from a drain that finished by polling) is
+			// consumed harmlessly: the loop re-checks before parking again.
+			<-sema
+		}
+	}
+	if rw.reng.Mode() == rSharded {
+		if idle {
+			if rw.reng.Vote(readerShardTable, rSharded, rCentral, rw.cfg.emptyLim()) {
+				rw.reng.TryCommit(readerShardTable, rSharded, rCentral)
+			}
+		} else {
+			rw.reng.Good(readerShardTable, rSharded, rCentral)
+		}
 	}
 }
 
@@ -265,7 +558,7 @@ func (rw *RWMutex) Unlock() {
 	rw.w.Unlock()
 }
 
-// switchRWMode performs a reader-protocol change from want to next
+// switchRWMode performs a reader wait-protocol change from want to next
 // through the engine's consensus word, at most once per detection round.
 // A change back to spin wakes any reader still parked so none sleeps
 // through the transition.
@@ -277,4 +570,20 @@ func (rw *RWMutex) switchRWMode(want, next Mode) {
 			rw.mu.Unlock()
 		}
 	}
+}
+
+// switchReaderMode performs a registration-protocol change from want to
+// next by taking the write lock: commits are sound only under full
+// writer exclusion (claim in place, both registration paths drained),
+// which is what guarantees no reader's RLock/RUnlock pair spans a
+// change. The slots are built before a slot-based mode is published so
+// readers never observe a nil array. Callers already holding the write
+// lock (the drain's scale-down detection) commit directly instead.
+func (rw *RWMutex) switchReaderMode(want, next modal.Mode) {
+	if next != rCentral {
+		rw.readerSlots()
+	}
+	rw.Lock()
+	rw.reng.TryCommit(readerShardTable, want, next)
+	rw.Unlock()
 }
