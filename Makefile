@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full bench bench-compare lint
+.PHONY: all build test test-full bench bench-compare lint examples
 
 all: lint build test
 
@@ -11,11 +11,19 @@ build:
 	$(GO) build ./...
 
 # The CI test job: race detector on, slow experiment tables skipped,
-# plus the portable affinity-fallback build tag.
+# plus the portable affinity-fallback build tag (including the
+# cancellation/handoff stress under -race, so the portable waiter paths
+# can't rot).
 test:
 	$(GO) test -race -short ./...
 	$(GO) build -tags reactive_noprocpin ./...
 	$(GO) test -tags reactive_noprocpin -short ./reactive/...
+	$(GO) test -tags reactive_noprocpin -race -short -run 'Ctx|Cancel|Handoff|Stress' ./reactive/...
+
+# The CI examples job: every example vets clean and runs to completion.
+examples:
+	$(GO) vet ./examples/...
+	@set -e; for d in examples/*/; do echo "== $$d"; timeout 120 $(GO) run ./$$d > /dev/null; done
 
 # The tier-1 gate: every test at full scale (slower).
 test-full:

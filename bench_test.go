@@ -20,12 +20,14 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/waitanalysis"
@@ -274,7 +276,7 @@ func BenchmarkTable4_6_HalfB(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §7) ---
+// --- Ablations (DESIGN.md §8) ---
 
 func BenchmarkAblationOptimisticTAS(b *testing.B) {
 	for _, proto := range []string{"reactive", "reactive-nonoptimistic"} {
@@ -371,6 +373,18 @@ func BenchmarkNativeMutex(b *testing.B) {
 			m.Unlock()
 		}
 	})
+	// The context-aware wrapper must be free: LockCtx(Background) on an
+	// uncontended mutex is the same zero-allocation fast path as Lock.
+	b.Run("lockctx-uncontended/reactive", func(b *testing.B) {
+		var m reactive.Mutex
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if m.LockCtx(ctx) != nil {
+				b.Fatal("uncontended LockCtx failed")
+			}
+			m.Unlock()
+		}
+	})
 	b.Run("contended/reactive", func(b *testing.B) {
 		var m reactive.Mutex
 		b.RunParallel(func(pb *testing.PB) {
@@ -386,6 +400,26 @@ func BenchmarkNativeMutex(b *testing.B) {
 			for pb.Next() {
 				m.Lock()
 				m.Unlock()
+			}
+		})
+	})
+	// Cancellation churn: contended lockers where every eighth
+	// acquisition is a short TryLockFor that may expire mid-wait, so the
+	// waiter-queue engine's handoff-or-abandon path (cancelled waiters
+	// passing grants on) stays on the measured trajectory.
+	b.Run("cancel-churn/reactive", func(b *testing.B) {
+		m := reactive.New(reactive.WithPollIters(4)) // park quickly
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if i++; i%8 == 0 {
+					if m.TryLockFor(50 * time.Microsecond) {
+						m.Unlock()
+					}
+				} else {
+					m.Lock()
+					m.Unlock()
+				}
 			}
 		})
 	})
@@ -525,7 +559,7 @@ func BenchmarkNativeFetchOp(b *testing.B) {
 // (2 = centralized CAS word, 3 = sharded per-P slots).
 func BenchmarkNativeRWMutex(b *testing.B) {
 	readerMode := func(b *testing.B, rw *reactive.RWMutex) {
-		b.ReportMetric(float64(rw.ReaderStats().Mode), "readermode")
+		b.ReportMetric(float64(rw.Stats().Readers.Mode), "readermode")
 	}
 	b.Run("read-uncontended/reactive", func(b *testing.B) {
 		var rw reactive.RWMutex

@@ -10,8 +10,10 @@
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The adoptable native-Go library lives in the reactive subpackage:
 // adaptive Mutex, Counter, RWMutex, and FetchOp primitives configured
-// through an Options API. The generic N-mode modal-object engine every
-// mode change routes through — native and simulated alike — is
-// reactive/modal, and the protocol-switching policies both layers
-// consume are in reactive/policy.
+// through an Options API, with context-aware acquisition (LockCtx,
+// RLockCtx, TryLockFor, ValueCtx, LoadCtx) on a shared waiter-queue
+// engine. The generic N-mode modal-object engine every mode change
+// routes through — native and simulated alike — is reactive/modal, and
+// the protocol-switching policies both layers consume are in
+// reactive/policy.
 package repro

@@ -1,15 +1,21 @@
 // Pipeline: a native Go processing pipeline whose stages consult a shared
-// routing table on every item — the read-mostly workload where the choice
-// of *reader waiting mechanism* decides performance. The table is guarded
-// by a reactive.RWMutex: while writers (config updates) are rare and
-// quick, readers spin; when a slow bulk update arrives, readers that blow
-// their polling budget vote the lock into reader-parking mode, and a run
-// of quick updates brings it back.
+// routing table on every item, under a per-request deadline — the workload
+// the context-aware acquisition API is for. The table is guarded by a
+// reactive.RWMutex; each lookup uses RLockCtx with a small per-item
+// timeout. While writers (config updates) are rare and quick, every lookup
+// reads the live table; when a slow bulk rebuild holds the write lock past
+// an item's deadline, the stage degrades to the last published immutable
+// snapshot instead of stalling the pipeline — stale routing beats no
+// routing. Meanwhile the lock itself adapts: readers that blow their
+// polling budget vote it into reader-parking mode, and a run of quick
+// updates brings it back.
 //
 //	go run ./examples/pipeline
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -22,6 +28,15 @@ import (
 // routes is the shared routing table: item key → pipeline stage weight.
 type routes map[int]int
 
+// snapshot returns an immutable copy for the stale-read fallback path.
+func (r routes) snapshot() routes {
+	s := make(routes, len(r))
+	for k, v := range r {
+		s[k] = v
+	}
+	return s
+}
+
 func main() {
 	rw := reactive.NewRWMutex(reactive.WithSpinFailLimit(2), reactive.WithPollIters(32))
 	table := routes{}
@@ -29,11 +44,37 @@ func main() {
 		table[k] = k % 7
 	}
 
-	var processed atomic.Int64
+	// stale holds the last snapshot a writer published: the degraded data
+	// a stage falls back to when its RLockCtx deadline expires.
+	var stale atomic.Pointer[routes]
+	publish := func() {
+		s := table.snapshot()
+		stale.Store(&s)
+	}
+	publish()
+
+	var fresh, degraded, processed atomic.Int64
+	// lookup routes one item within deadline d: live table when the read
+	// lock arrives in time, last snapshot otherwise.
+	lookup := func(key int, d time.Duration) int {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		defer cancel()
+		if err := rw.RLockCtx(ctx); err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				panic(err) // only the deadline can end this context
+			}
+			degraded.Add(1)
+			return (*stale.Load())[key]
+		}
+		defer rw.RUnlock()
+		fresh.Add(1)
+		return table[key]
+	}
+
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 
-	// Pipeline stages: each item's routing is a read-locked lookup.
+	// Pipeline stages: each item's routing is a deadline-bounded lookup.
 	for s := 0; s < 2*runtime.GOMAXPROCS(0); s++ {
 		wg.Add(1)
 		go func(stage int) {
@@ -44,9 +85,7 @@ func main() {
 					return
 				default:
 				}
-				rw.RLock()
-				_ = table[(stage+i)%64]
-				rw.RUnlock()
+				_ = lookup((stage+i)%64, 500*time.Microsecond)
 				processed.Add(1)
 			}
 		}(s)
@@ -54,22 +93,24 @@ func main() {
 
 	report := func(name string) {
 		st := rw.Stats()
-		fmt.Printf("%-28s mode=%-5v switches=%d items=%d\n",
-			name, st.Mode, st.Switches, processed.Load())
+		fmt.Printf("%-28s mode=%-5v switches=%d items=%d fresh=%d stale=%d\n",
+			name, st.Mode, st.Switches, processed.Load(), fresh.Load(), degraded.Load())
 	}
 
-	// Phase 1: rare, quick config updates — readers stay in spin mode.
+	// Phase 1: rare, quick config updates — readers stay in spin mode and
+	// essentially every lookup beats its deadline.
 	for i := 0; i < 50; i++ {
 		rw.Lock()
 		table[i%64]++
 		rw.Unlock()
+		publish()
 		time.Sleep(time.Millisecond)
 	}
 	report("quick updates")
 
-	// Phase 2: slow bulk updates hold the write lock long enough that
-	// spinning readers burn whole scheduler quanta — the lock reacts by
-	// parking them instead.
+	// Phase 2: slow bulk rebuilds hold the write lock past the per-item
+	// deadline — lookups degrade to the snapshot instead of stalling, and
+	// readers that blow their polling budget vote the lock into parking.
 	for i := 0; i < 20; i++ {
 		rw.Lock()
 		for k := range table { // simulate an expensive rebuild
@@ -77,6 +118,7 @@ func main() {
 		}
 		time.Sleep(2 * time.Millisecond) // long hold
 		rw.Unlock()
+		publish()
 		time.Sleep(time.Millisecond)
 	}
 	report("slow bulk updates")
@@ -91,5 +133,6 @@ func main() {
 		table[i%64]++
 		rw.Unlock()
 	}
+	publish()
 	report("updates on a drained pipeline")
 }

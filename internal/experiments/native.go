@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -123,6 +124,33 @@ func NativePrimitives() []NativeResult {
 			}
 		}))
 	}
+	// Context-aware acquisition rows. The uncontended LockCtx(Background)
+	// row is the wrapper-cost regression gate (it must track the plain
+	// mutex/uncontended row), and the cancel-churn row keeps the waiter
+	// queue's handoff-or-abandon path — short TryLockFor attempts expiring
+	// against contended handoffs — on the measured trajectory.
+	var cm reactive.Mutex
+	bg := context.Background()
+	out = append(out, measureNative("mutex/lockctx-uncontended/reactive", 1, func(per int) {
+		for i := 0; i < per; i++ {
+			if cm.LockCtx(bg) == nil {
+				cm.Unlock()
+			}
+		}
+	}))
+	churn := reactive.New(reactive.WithPollIters(4)) // park quickly
+	out = append(out, measureNative("mutex/cancel-churn/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			if i%8 == 0 {
+				if churn.TryLockFor(50 * time.Microsecond) {
+					churn.Unlock()
+				}
+			} else {
+				churn.Lock()
+				churn.Unlock()
+			}
+		}
+	}))
 	// Forced-regime fast paths: primitives started in their scalable
 	// protocols with WithInitialMode, so the sharded/combining fast
 	// paths are measured even on hosts whose parallelism never triggers

@@ -1,5 +1,7 @@
 package reactive
 
+import "context"
+
 // Counter is a reactive fetch-and-add counter: the add-only
 // specialization of FetchOp (operation +, identity 0), with the
 // specialized atomic-add fast paths that operation enables. Under low
@@ -19,8 +21,9 @@ type Counter struct {
 }
 
 // NewCounter builds a Counter configured by opts. NewCounter() with no
-// options is equivalent to a zero-value Counter. WithPollIters is
-// accepted but unused: Counter never parks.
+// options is equivalent to a zero-value Counter. WithPollIters bounds
+// how long Load polls for the reconciliation sweep window before
+// parking (Add never parks).
 func NewCounter(opts ...Option) *Counter {
 	c := &Counter{}
 	c.f.cfg.apply(opts)
@@ -39,6 +42,11 @@ func (c *Counter) Add(delta int64) { c.f.Apply(delta) }
 // Load returns the current count, reconciling any sharded cells; see
 // FetchOp.Value for the reconciliation and detection semantics.
 func (c *Counter) Load() int64 { return c.f.Value() }
+
+// LoadCtx returns the current count like Load, but gives up with
+// ctx.Err() when ctx ends while waiting for the reconciliation sweep
+// window; see FetchOp.ValueCtx.
+func (c *Counter) LoadCtx(ctx context.Context) (int64, error) { return c.f.ValueCtx(ctx) }
 
 // noteContendedAdd records one contended CAS-mode Add with the detection
 // machinery (test hook shared with the forced-mode-switch stress tests).

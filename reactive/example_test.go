@@ -1,9 +1,11 @@
 package reactive_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/reactive"
 	"repro/reactive/policy"
@@ -53,6 +55,31 @@ func ExampleNew() {
 
 	fmt.Println(mu.Stats().Mode, competitive.Stats().Mode)
 	// Output: spin spin
+}
+
+// ExampleMutex_LockCtx shows cancellation-aware acquisition: LockCtx
+// waits like Lock but gives up with ctx.Err() when the context ends, so
+// a request handler can bound how long it blocks on a contended lock and
+// degrade instead of hanging. Lock is simply LockCtx with
+// context.Background(), at the same (zero-allocation) fast-path cost.
+func ExampleMutex_LockCtx() {
+	var mu reactive.Mutex
+	mu.Lock() // another owner holds the lock...
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := mu.LockCtx(ctx); err != nil {
+		fmt.Println("degraded:", err) // ...so the bounded attempt times out
+	}
+
+	mu.Unlock()
+	if err := mu.LockCtx(context.Background()); err == nil {
+		fmt.Println("acquired after release")
+		mu.Unlock()
+	}
+	// Output:
+	// degraded: context deadline exceeded
+	// acquired after release
 }
 
 // ExampleCounter shows the adaptive fetch-and-add counter: a single CAS

@@ -1,10 +1,12 @@
 package reactive
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/reactive/internal/affinity"
+	"repro/reactive/internal/waitq"
 	"repro/reactive/modal"
 )
 
@@ -96,8 +98,12 @@ type FetchOp struct {
 	// combining-mode batch folds alike. One lock for both is load-bearing:
 	// a fold holds harvested-but-unfolded cell values between its cell
 	// Swaps and its CAS into base, and a concurrent sweep reading base in
-	// that window would miss them.
+	// that window would miss them. Readers wait for the lock two-phase:
+	// poll through the budget, then park on vq (the shared waiter-queue
+	// engine) until the releasing sweeper grants — the combining window's
+	// cancellable wait (ValueCtx).
 	sweepLock atomic.Uint32
+	vq        waitq.Queue
 
 	cfg config
 }
@@ -105,7 +111,8 @@ type FetchOp struct {
 // NewFetchOp builds a FetchOp over op and its identity element,
 // configured by opts. op must be associative and commutative and may be
 // called concurrently; identity must satisfy op(identity, x) == x.
-// WithPollIters is accepted but unused: FetchOp never parks.
+// WithPollIters bounds how long a reconciling read polls for the sweep
+// window before parking (updates never park).
 func NewFetchOp(op func(a, b int64) int64, identity int64, opts ...Option) *FetchOp {
 	if op == nil {
 		panic("reactive: NewFetchOp requires an operation (use Counter for plain addition)")
@@ -148,7 +155,11 @@ func (f *FetchOp) comb(a, b int64) int64 {
 
 // Stats returns a snapshot of the accumulator's adaptive state.
 func (f *FetchOp) Stats() Stats {
-	return Stats{Mode: ModeCAS + Mode(f.eng.Mode()), Switches: f.eng.Switches()}
+	return Stats{
+		Mode:     ModeCAS + Mode(f.eng.Mode()),
+		Switches: f.eng.Switches(),
+		Waiters:  f.vq.Len(),
+	}
 }
 
 // shardCells returns the cell array, creating it on first use. The array
@@ -257,7 +268,7 @@ func (f *FetchOp) applyCombining(x int64) {
 		n := func() int64 {
 			// Released by defer so a panicking user op inside the fold
 			// cannot leak the lock and wedge every future sweep.
-			defer f.sweepLock.Store(0)
+			defer f.releaseSweep()
 			n := f.pending.Swap(0)
 			f.foldCells()
 			return n
@@ -327,6 +338,50 @@ func (f *FetchOp) noteCombineBatch(n int64) {
 	}
 }
 
+// acquireSweep takes the sweepLock with two-phase waiting: poll through
+// the (deadline-aware) budget, then park on the sweep-window waiter
+// queue until the releasing sweeper grants. Announce-then-check plus
+// handoff-or-abandon make the park airtight against releases and
+// cancellations racing each other — the same protocol Mutex's park path
+// runs (DESIGN.md §5).
+func (f *FetchOp) acquireSweep(ctx context.Context, done <-chan struct{}) error {
+	ok, aborted := modal.PollCh(f.cfg.pollBudget(), done, func() bool {
+		return f.sweepLock.CompareAndSwap(0, 1)
+	})
+	if ok {
+		return nil
+	}
+	if aborted {
+		return ctx.Err()
+	}
+	w := waitq.Get()
+	defer waitq.Put(w)
+	for {
+		f.vq.Push(w)
+		if f.sweepLock.CompareAndSwap(0, 1) {
+			f.vq.Abandon(w)
+			return nil
+		}
+		if done == nil {
+			<-w.Ready()
+			continue
+		}
+		select {
+		case <-w.Ready():
+		case <-done:
+			f.vq.Abandon(w)
+			return ctx.Err()
+		}
+	}
+}
+
+// releaseSweep releases the sweepLock and hands the sweep window to the
+// oldest parked waiter, if any.
+func (f *FetchOp) releaseSweep() {
+	f.sweepLock.Store(0)
+	f.vq.Grant()
+}
+
 // Value returns the accumulated result. Once the accumulator has ever
 // left ModeCAS, Value reconciles permanently: every cell's pending
 // operand is folded into the shared word, and what the sweep observes is
@@ -340,10 +395,29 @@ func (f *FetchOp) noteCombineBatch(n int64) {
 // Update fast paths are unaffected; only Value pays. Under concurrent
 // updates, Value returns a value that was correct at some instant during
 // the call (the same guarantee sync/atomic-style sharded counters give).
+// It is the uncancellable special case of ValueCtx.
 func (f *FetchOp) Value() int64 {
+	v, _ := f.value(nil, nil)
+	return v
+}
+
+// ValueCtx returns the accumulated result like Value, but gives up when
+// ctx is cancelled or its deadline passes while waiting for the sweep
+// window (a combining-mode batch fold, or another reconciling read, can
+// hold it across a user-supplied operation of arbitrary cost), returning
+// ctx.Err(). On an error the returned value is meaningless and no
+// reconciliation was performed.
+func (f *FetchOp) ValueCtx(ctx context.Context) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return f.value(ctx, ctx.Done())
+}
+
+func (f *FetchOp) value(ctx context.Context, done <-chan struct{}) (int64, error) {
 	cells := f.builtCells()
 	if cells == nil {
-		return f.base.Load()
+		return f.base.Load(), nil
 	}
 	// Sweeps are serialized by the sweepLock, shared with combining-mode
 	// batch folds: a concurrent Value must not read the base while
@@ -351,12 +425,10 @@ func (f *FetchOp) Value() int64 {
 	// miss them — including an Apply that completed before this Value
 	// started), and a trailing Value sweeping just-emptied cells must not
 	// mistake the empty sweep for low contention.
-	var bo modal.Backoff
-	bo.Max = backoffCeiling
-	for !f.sweepLock.CompareAndSwap(0, 1) {
-		bo.Pause()
+	if err := f.acquireSweep(ctx, done); err != nil {
+		return 0, err
 	}
-	defer f.sweepLock.Store(0)
+	defer f.releaseSweep()
 	n := f.pending.Swap(0)
 	active := f.foldCells()
 	sum := f.base.Load()
@@ -395,7 +467,7 @@ func (f *FetchOp) Value() int64 {
 		}
 		f.noteCombineBatch(n)
 	}
-	return sum
+	return sum, nil
 }
 
 // switchFop performs a protocol change from want to next through the

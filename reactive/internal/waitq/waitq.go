@@ -1,0 +1,222 @@
+// Package waitq is the shared waiter-queue engine behind every phase-two
+// (signaling) wait in package reactive. It grew out of the modal package's
+// two-phase waiting helpers: modal.Poll is phase one everywhere, and this
+// package is the one parking mechanism that replaced the three ad-hoc ones
+// the primitives used to carry (Mutex's capacity-1 channel semaphore,
+// RWMutex's reader condition variable, and RWMutex's writer-drain channel).
+//
+// The engine is an intrusive FIFO of per-goroutine wait nodes (Waiter)
+// supporting handoff-or-abandon: a waiter that stops waiting — because its
+// context was cancelled, or because it acquired the resource by polling
+// while still enqueued — leaves through Queue.Abandon, which either unlinks
+// the node (the wait was never granted) or, when a grant had already been
+// delivered, consumes the grant token and passes the wakeup on to the next
+// waiter. That pass-on rule is what makes cancellation safe against the
+// classic lost-wakeup race (the x/sync/semaphore problem): a wakeup handed
+// to a leaving waiter is never dropped while someone else still waits.
+//
+// Grants are wakeup hints, not ownership transfers: the primitives built on
+// this package are barging (acquisition is always a CAS on the caller's own
+// state word), so a spurious or stale grant costs a re-check, never
+// correctness. The invariant callers must maintain is announce-then-check:
+// Push the node, then re-test the awaited condition (or attempt the
+// acquisition) before blocking on Ready, so a peer that changed the
+// condition before observing the queue cannot strand the waiter.
+//
+// All queue state is guarded by a small randomized-backoff spin lock; the
+// critical sections are a handful of pointer moves and one non-blocking
+// channel send. Nodes are pooled (Get/Put), so steady-state parking
+// allocates nothing.
+package waitq
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/reactive/modal"
+)
+
+// Waiter states, guarded by the owning queue's lock.
+const (
+	stateIdle    uint32 = iota // not linked; no grant pending
+	stateQueued                // linked in a queue
+	stateGranted               // unlinked by a grant; token in ready
+)
+
+// A Waiter is one goroutine's parked wait: an intrusive queue node plus the
+// capacity-1 channel its grant token is delivered on. Waiters come from the
+// package pool (Get/Put); a Waiter is owned by exactly one waiting
+// goroutine at a time and may be re-Pushed (on the same or another Queue)
+// once its previous wait has fully ended — token consumed, or Abandon
+// returned.
+type Waiter struct {
+	next, prev *Waiter
+	state      uint32
+	// ready delivers the grant token. Capacity 1, and a token is sent only
+	// by the grant that unlinks the node, so the send — performed under
+	// the queue lock — can never block.
+	ready chan struct{}
+}
+
+// Ready returns the channel the grant token arrives on. Receiving from it
+// consumes the token; a waiter that instead stops waiting must leave via
+// Queue.Abandon so a token it was already granted is passed on.
+func (w *Waiter) Ready() <-chan struct{} { return w.ready }
+
+var pool = sync.Pool{New: func() any { return &Waiter{ready: make(chan struct{}, 1)} }}
+
+// Get returns a ready-to-Push Waiter from the package pool.
+func Get() *Waiter { return pool.Get().(*Waiter) }
+
+// Put returns w to the pool. The caller must have fully ended w's wait:
+// a node with an unconsumed grant token would wake its next user spuriously
+// at best and corrupt the FIFO at worst, so Put panics on one.
+func Put(w *Waiter) {
+	if w.state == stateQueued || len(w.ready) != 0 {
+		panic("waitq: Put of a Waiter whose wait has not ended")
+	}
+	w.state = stateIdle
+	pool.Put(w)
+}
+
+// A Queue is a FIFO of parked waiters. The zero value is an empty queue
+// ready to use. A Queue must not be copied after first use.
+type Queue struct {
+	lock       atomic.Uint32 // spin lock guarding the list and waiter states
+	head, tail *Waiter
+	// n mirrors the list length so Len — the "any waiters?" fast check on
+	// every unlock path — is one atomic load, never a lock acquisition.
+	n atomic.Int32
+}
+
+func (q *Queue) acquire() {
+	if q.lock.CompareAndSwap(0, 1) {
+		return
+	}
+	var bo modal.Backoff
+	bo.Max = 16
+	for !q.lock.CompareAndSwap(0, 1) {
+		bo.Pause()
+	}
+}
+
+func (q *Queue) release() { q.lock.Store(0) }
+
+// Len returns the number of queued waiters (parked or committing to park).
+func (q *Queue) Len() int { return int(q.n.Load()) }
+
+// Push appends w to the queue. The caller must then re-check the condition
+// it is about to wait for (announce-then-check) before blocking on
+// w.Ready, and must eventually end the wait by consuming the token or by
+// calling Abandon.
+func (q *Queue) Push(w *Waiter) {
+	q.acquire()
+	// stateGranted with an empty channel is a consumed grant — a normal
+	// re-Push after a wakeup; only a still-queued node or an unconsumed
+	// token marks a wait that has not ended.
+	if w.state == stateQueued || len(w.ready) != 0 {
+		q.release()
+		panic("waitq: Push of a Waiter whose previous wait has not ended")
+	}
+	w.state = stateQueued
+	w.prev = q.tail
+	w.next = nil
+	if q.tail == nil {
+		q.head = w
+	} else {
+		q.tail.next = w
+	}
+	q.tail = w
+	q.n.Add(1)
+	q.release()
+}
+
+// unlink removes w from the list. Callers hold the lock and have checked
+// w.state == stateQueued.
+func (q *Queue) unlink(w *Waiter) {
+	if w.prev == nil {
+		q.head = w.next
+	} else {
+		w.prev.next = w.next
+	}
+	if w.next == nil {
+		q.tail = w.prev
+	} else {
+		w.next.prev = w.prev
+	}
+	w.next, w.prev = nil, nil
+	q.n.Add(-1)
+}
+
+// Grant wakes the oldest waiter: unlinks it and delivers its token, both
+// under the queue lock, so by the time any later Abandon observes the
+// granted state the token is already in the channel. It reports whether a
+// waiter was woken; an empty queue is a no-op (wakeups are hints — a
+// waiter yet to Push will re-check the condition after announcing).
+func (q *Queue) Grant() bool {
+	if q.n.Load() == 0 {
+		return false
+	}
+	q.acquire()
+	w := q.head
+	if w == nil {
+		q.release()
+		return false
+	}
+	q.unlink(w)
+	w.state = stateGranted
+	w.ready <- struct{}{}
+	q.release()
+	return true
+}
+
+// GrantAll wakes every queued waiter (the broadcast used by RWMutex's
+// writer release) and returns how many it woke.
+func (q *Queue) GrantAll() int {
+	if q.n.Load() == 0 {
+		return 0
+	}
+	q.acquire()
+	woken := 0
+	for w := q.head; w != nil; {
+		next := w.next
+		q.unlink(w)
+		w.state = stateGranted
+		w.ready <- struct{}{}
+		woken++
+		w = next
+	}
+	q.release()
+	return woken
+}
+
+// Abandon ends w's wait from the waiter's side: the handoff-or-abandon
+// step a waiter runs when it stops waiting for any reason other than
+// consuming its token — context cancellation, or having acquired the
+// awaited resource while still enqueued. If w is still queued it is
+// unlinked and Abandon returns true (a clean abandon: no grant existed, so
+// none can be lost). Otherwise a grant has already been delivered — the
+// race the no-lost-wakeup proof in DESIGN.md §5 is about — and Abandon
+// consumes the token and passes the wakeup on to the queue's next waiter,
+// returning false. Either way w's wait has fully ended on return and w may
+// be re-Pushed or Put back in the pool.
+func (q *Queue) Abandon(w *Waiter) bool {
+	q.acquire()
+	switch w.state {
+	case stateQueued:
+		q.unlink(w)
+		w.state = stateIdle
+		q.release()
+		return true
+	case stateGranted:
+		w.state = stateIdle
+		q.release()
+		// The token was sent under the lock before the granted state we
+		// just observed was set, so this receive never blocks.
+		<-w.ready
+		q.Grant()
+		return false
+	}
+	q.release()
+	panic("waitq: Abandon of a Waiter that is not waiting")
+}

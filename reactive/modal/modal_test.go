@@ -247,6 +247,36 @@ func TestPoll(t *testing.T) {
 	}
 }
 
+func TestPollCh(t *testing.T) {
+	// nil done: identical to Poll.
+	n := 0
+	ok, aborted := PollCh(5, nil, func() bool { n++; return n == 3 })
+	if !ok || aborted || n != 3 {
+		t.Fatalf("PollCh(nil done) = (%v, %v) after %d tries, want (true, false) after 3", ok, aborted, n)
+	}
+	// A closed done channel aborts after the first failed try, without
+	// spinning the rest of the budget down.
+	done := make(chan struct{})
+	close(done)
+	n = 0
+	ok, aborted = PollCh(1000, done, func() bool { n++; return false })
+	if ok || !aborted || n != 1 {
+		t.Fatalf("PollCh(closed done) = (%v, %v) after %d tries, want (false, true) after 1", ok, aborted, n)
+	}
+	// A success on the same iteration done closes wins: try runs first.
+	ok, aborted = PollCh(3, done, func() bool { return true })
+	if !ok || aborted {
+		t.Fatalf("PollCh success with closed done = (%v, %v), want (true, false)", ok, aborted)
+	}
+	// An open done channel never aborts; the budget governs.
+	open := make(chan struct{})
+	n = 0
+	ok, aborted = PollCh(4, open, func() bool { n++; return false })
+	if ok || aborted || n != 4 {
+		t.Fatalf("PollCh(open done) = (%v, %v) after %d tries, want budget exhaustion after 4", ok, aborted, n)
+	}
+}
+
 func TestBackoffPausesAndDoubles(t *testing.T) {
 	var b Backoff
 	b.Max = 8

@@ -50,8 +50,11 @@ func WithEmptyLimit(n int) Option {
 // WithPollIters sets the two-phase polling budget, in spin iterations,
 // that a waiter spends polling before parking (Lpoll expressed in
 // iterations). n must be positive. Default: DefaultPollIters. Used by
-// Mutex (park-mode lockers) and RWMutex (readers and writers); Counter
-// never parks and ignores it.
+// Mutex (park-mode lockers), RWMutex (readers and writers), and Counter
+// and FetchOp (reconciling reads waiting for the sweep window). The
+// budget is deadline-aware: a waiter whose context ends mid-poll stops
+// consuming it immediately, so a short Lpoll and a short deadline
+// compose instead of competing.
 func WithPollIters(n int) Option {
 	if n <= 0 {
 		panic("reactive: WithPollIters requires n > 0")

@@ -29,6 +29,19 @@
 //   - two-phase waiting wherever a primitive blocks, with Lpoll expressed
 //     in spin iterations calibrated against the parking cost.
 //
+// Every wait is cancellable: LockCtx, RLockCtx, TryLockFor, ValueCtx,
+// and LoadCtx bound an acquisition by a context's cancellation or
+// deadline (the semaphore.Weighted.Acquire idiom), returning ctx.Err()
+// promptly in either wait phase, while Lock, RLock, Value, and Load stay
+// thin zero-allocation wrappers over the same paths. All phase-two
+// parking goes through one shared waiter-queue engine
+// (reactive/internal/waitq): an intrusive FIFO of per-goroutine wait
+// nodes whose handoff-or-abandon discipline passes a wakeup delivered to
+// a cancelled waiter on to the next one, so cancellation can never
+// strand a waiter (DESIGN.md §5). Every primitive reports the same
+// Stats shape: current mode, committed protocol changes, parked
+// waiters, and (for RWMutex) the reader-registration protocol.
+//
 // The zero value of each type is ready to use with the package-default
 // tunables. New, NewCounter, NewRWMutex, and NewFetchOp accept Options
 // that change the detection thresholds (WithSpinFailLimit,
@@ -44,9 +57,11 @@
 package reactive
 
 import (
-	"sync"
+	"context"
 	"sync/atomic"
+	"time"
 
+	"repro/reactive/internal/waitq"
 	"repro/reactive/modal"
 	"repro/reactive/policy"
 )
@@ -67,7 +82,7 @@ type Mode uint32
 // Protocol modes. Mutex and RWMutex alternate between ModeSpin and
 // ModePark; Counter and FetchOp move along the chain ModeCAS ↔
 // ModeSharded ↔ ModeCombining; RWMutex's reader registration protocol
-// (ReaderStats) alternates between ModeCAS (centralized word) and
+// (Stats().Readers) alternates between ModeCAS (centralized word) and
 // ModeSharded (per-P slots).
 const (
 	// ModeSpin is the test-and-test-and-set analogue: waiters spin with
@@ -174,10 +189,10 @@ type Mutex struct {
 	// consensus CAS.
 	eng modal.Engine
 
-	sema     chan struct{} // FIFO park/wake channel (lazily created)
-	semaOnce sync.Once
-
-	waiters atomic.Int32 // parked-or-parking waiters
+	// q holds the parked waiters of the two-phase parking protocol: the
+	// shared waiter-queue engine every primitive in this package blocks
+	// through (see reactive/internal/waitq and DESIGN.md §5).
+	q waitq.Queue
 
 	cfg config
 }
@@ -223,21 +238,52 @@ func (c *config) pollBudget() int32 {
 	return DefaultPollIters
 }
 
-// Stats reports an adaptive primitive's state: the protocol currently
-// selected and how many protocol changes have been performed.
+// Stats is the one observability surface shared by every primitive in
+// this package: the protocol currently selected, how many protocol
+// changes have been committed, how many goroutines are blocked in a
+// phase-two wait, and — for RWMutex only — the orthogonal reader
+// registration protocol's state.
 type Stats struct {
-	Mode     Mode
+	// Mode is the currently selected protocol: the wait protocol for
+	// Mutex and RWMutex (ModeSpin/ModePark), the update protocol for
+	// Counter and FetchOp (ModeCAS/ModeSharded/ModeCombining).
+	Mode Mode
+	// Switches counts the protocol changes committed by that mode's
+	// engine.
 	Switches uint64
+	// Waiters counts the goroutines currently parked (or committing to
+	// park) on the primitive's waiter queues: lockers for Mutex; parked
+	// readers, a draining writer, and writers queued on the writer mutex
+	// for RWMutex; reconciling readers waiting for the sweep window for
+	// Counter and FetchOp.
+	Waiters int
+	// Readers describes RWMutex's reader registration protocol
+	// (centralized CAS word vs BRAVO-style sharded per-P slots); nil for
+	// every other primitive.
+	Readers *ReaderStats
+}
+
+// ReaderStats describes RWMutex's reader registration modal object — the
+// protocol readers use to register when no writer is about, orthogonal to
+// how they wait when one is.
+type ReaderStats struct {
+	// Mode is ModeCAS while readers register on the centralized word,
+	// ModeSharded while they register in per-P slots.
+	Mode Mode
+	// Switches counts committed registration-protocol changes.
+	Switches uint64
+	// Shards is the per-P slot count once the slot array exists, 0 while
+	// the lock has only ever registered readers centrally.
+	Shards int
 }
 
 // Stats returns a snapshot of the mutex's adaptive state.
 func (m *Mutex) Stats() Stats {
-	return Stats{Mode: Mode(m.eng.Mode()), Switches: m.eng.Switches()}
-}
-
-func (m *Mutex) semaphore() chan struct{} {
-	m.semaOnce.Do(func() { m.sema = make(chan struct{}, 1) })
-	return m.sema
+	return Stats{
+		Mode:     Mode(m.eng.Mode()),
+		Switches: m.eng.Switches(),
+		Waiters:  m.q.Len(),
+	}
 }
 
 // TryLock attempts to acquire the mutex without waiting.
@@ -245,22 +291,73 @@ func (m *Mutex) TryLock() bool {
 	return m.state.CompareAndSwap(unlocked, locked)
 }
 
+// TryLockFor attempts to acquire the mutex, waiting (adaptively, like
+// Lock) for at most d. It reports whether the mutex was acquired.
+func (m *Mutex) TryLockFor(d time.Duration) bool {
+	if m.lockFast() {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return m.LockCtx(ctx) == nil
+}
+
 // Lock acquires the mutex, adapting its waiting protocol to contention.
+// It is the uncancellable special case of LockCtx — equivalent to
+// LockCtx(context.Background()), and exactly as cheap: the context plumbing
+// costs nothing until a waiter actually blocks.
 func (m *Mutex) Lock() {
-	// Optimistic fast path (the thesis's optimistic test&set).
+	if m.lockFast() {
+		return
+	}
+	m.lockSlow(nil, nil)
+}
+
+// lockFast is the optimistic fast path (the thesis's optimistic
+// test&set), shared by Lock and LockCtx.
+func (m *Mutex) lockFast() bool {
 	if m.state.CompareAndSwap(unlocked, locked) {
 		// Detection is mode-directional, as in the simulator's reactive
 		// lock: spin mode monitors the cheap→scalable direction only.
 		if m.eng.Mode() == mSpin {
 			m.eng.Good(spinParkTable, mSpin, mPark)
 		}
-		return
+		return true
 	}
+	return false
+}
+
+// LockCtx acquires the mutex like Lock, but gives up when ctx is
+// cancelled or its deadline passes, returning ctx.Err(). The error is
+// returned promptly in both wait protocols: a polling waiter stops
+// mid-budget, and a parked waiter is unparked. A waiter whose
+// cancellation races an Unlock's wakeup passes the wakeup on to the next
+// waiter before returning, so a cancelled acquisition can never strand
+// the lock (see DESIGN.md §5 for the proof). On a cancelled context
+// LockCtx returns without acquiring; on a nil error the caller holds the
+// lock and must Unlock it.
+func (m *Mutex) LockCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if m.lockFast() {
+		return nil
+	}
+	return m.lockSlow(ctx, ctx.Done())
+}
+
+// lockSlow dispatches a contended acquisition to the selected waiting
+// protocol. A nil ctx (and done) means the wait is uncancellable; the
+// nil-ness of done, not ctx, gates every cancellation check so Lock pays
+// nothing for the context plumbing.
+func (m *Mutex) lockSlow(ctx context.Context, done <-chan struct{}) error {
 	if m.eng.Mode() == mSpin {
-		m.lockSpin()
-		return
+		return m.lockSpin(ctx, done)
 	}
-	m.lockPark()
+	return m.lockPark(ctx, done)
 }
 
 // noteSpinAcquire records the outcome of one spin-mode acquisition with
@@ -281,55 +378,85 @@ func (m *Mutex) noteSpinAcquire(fails int) {
 
 // lockSpin is the test-and-test-and-set protocol with randomized
 // exponential backoff. It migrates to the parking protocol if the mode
-// changes mid-wait.
-func (m *Mutex) lockSpin() {
+// changes mid-wait, and gives up between attempts once done closes.
+func (m *Mutex) lockSpin(ctx context.Context, done <-chan struct{}) error {
 	var bo modal.Backoff
 	fails := 0
 	for {
 		// Read-poll (cached) before attempting the RMW.
 		if m.state.Load() == unlocked && m.state.CompareAndSwap(unlocked, locked) {
 			m.noteSpinAcquire(fails)
-			return
+			return nil
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 		}
 		fails++
 		bo.Pause()
 		if m.eng.Mode() == mPark {
-			m.lockPark()
-			return
+			return m.lockPark(ctx, done)
 		}
 	}
 }
 
 // lockPark is the parking protocol with two-phase waiting: poll through
-// the polling budget, then park on the FIFO semaphore until an unlocker
-// hands control back.
-func (m *Mutex) lockPark() {
+// the (deadline-aware) polling budget, then park on the waiter queue
+// until an unlocker grants a wakeup. Grants are hints, not ownership
+// transfers — the woken waiter re-competes for the state word — so the
+// protocol's invariant is purely about wakeups: whenever the lock is
+// released with a waiter announced, one grant is issued, and any waiter
+// that stops waiting while holding a grant (cancellation, or an
+// acquisition that raced the grant) passes it on via Abandon.
+func (m *Mutex) lockPark(ctx context.Context, done <-chan struct{}) error {
 	// Phase one: poll.
-	if modal.Poll(m.cfg.pollBudget(), func() bool {
+	ok, aborted := modal.PollCh(m.cfg.pollBudget(), done, func() bool {
 		return m.state.CompareAndSwap(unlocked, locked)
-	}) {
-		return
+	})
+	if ok {
+		return nil
 	}
-	// Phase two: signal. Mark the lock contended and park.
-	sema := m.semaphore()
-	m.waiters.Add(1)
-	defer m.waiters.Add(-1)
+	if aborted {
+		return ctx.Err()
+	}
+	// Phase two: signal. Announce the waiter, mark the lock contended,
+	// and park.
+	w := waitq.Get()
+	defer waitq.Put(w)
 	for {
-		// Announce a waiter so unlockers wake us, then re-check.
-		old := m.state.Load()
-		if old == unlocked {
-			if m.state.CompareAndSwap(unlocked, contended) {
-				return
+		// Announce-then-check: the node must be queued before the state
+		// word says "contended", so the unlock that observes contended
+		// (or a queued waiter) always has someone to grant to.
+		m.q.Push(w)
+		for {
+			old := m.state.Load()
+			if old == unlocked {
+				if m.state.CompareAndSwap(unlocked, contended) {
+					// Acquired while queued: leave, passing on any grant
+					// that already raced in.
+					m.q.Abandon(w)
+					return nil
+				}
+				continue
 			}
+			if old == contended || m.state.CompareAndSwap(locked, contended) {
+				break
+			}
+		}
+		if done == nil {
+			<-w.Ready()
 			continue
 		}
-		if old == locked && !m.state.CompareAndSwap(locked, contended) {
-			continue
-		}
-		// Park until an unlock wakes someone.
-		<-sema
-		if m.state.CompareAndSwap(unlocked, contended) {
-			return
+		select {
+		case <-w.Ready():
+		case <-done:
+			// Handoff-or-abandon: if a grant already raced our
+			// cancellation, Abandon forwards it so no waiter is stranded.
+			m.q.Abandon(w)
+			return ctx.Err()
 		}
 	}
 }
@@ -342,15 +469,14 @@ func (m *Mutex) Unlock() {
 	if old == unlocked {
 		panic("reactive: Unlock of unlocked Mutex")
 	}
-	if old == contended || m.waiters.Load() > 0 {
+	if old == contended || m.q.Len() > 0 {
 		if mode == mPark {
 			m.eng.Good(spinParkTable, mPark, mSpin)
 		}
-		// Wake one parked waiter (non-blocking: capacity-1 channel).
-		select {
-		case m.semaphore() <- struct{}{}:
-		default:
-		}
+		// Wake the oldest parked waiter (a no-op if every announced
+		// waiter is still pre-park: their post-announce state check
+		// covers this release).
+		m.q.Grant()
 		return
 	}
 	if mode == mPark {
@@ -368,11 +494,11 @@ func (m *Mutex) Unlock() {
 func (m *Mutex) switchMode(want, next Mode) {
 	if m.eng.TryCommit(spinParkTable, modal.Mode(want), modal.Mode(next)) {
 		if next == ModeSpin {
-			// Ensure no parked waiter is stranded across the change.
-			select {
-			case m.semaphore() <- struct{}{}:
-			default:
-			}
+			// Ensure no parked waiter is stranded across the change: one
+			// wakeup suffices, because the woken waiter re-establishes the
+			// contended state before re-parking, which keeps the unlock
+			// side granting.
+			m.q.Grant()
 		}
 	}
 }

@@ -1,10 +1,12 @@
 package reactive
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/reactive/internal/affinity"
+	"repro/reactive/internal/waitq"
 	"repro/reactive/modal"
 )
 
@@ -15,7 +17,7 @@ import (
 const rwBias = 1 << 29
 
 // Engine-local mode indices for the reader-registration modal object.
-// The public Stats mapping (ReaderStats) is ModeCAS + index, matching
+// The public Stats mapping (Stats().Readers) is ModeCAS + index, matching
 // FetchOp's convention: the centralized word is the cheap single-word
 // protocol, the per-P slots the sharded one.
 const (
@@ -44,17 +46,17 @@ func RWReaderTable() *modal.Table { return readerShardTable }
 // embedded reactive Mutex (itself adaptive); on top of that this type
 // runs two orthogonal modal objects over its readers:
 //
-// How readers *wait* when a writer has claimed the lock (Stats):
+// How readers *wait* when a writer has claimed the lock (Stats().Mode):
 //
 //   - ModeSpin — readers spin with randomized exponential backoff until
 //     the writer's release lets them re-register. Cheapest when writer
 //     critical sections are short.
 //   - ModePark — readers poll through the two-phase polling budget and
-//     then park on a condition variable the releasing writer broadcasts.
-//     Scalable when writers hold the lock long enough that spinning
-//     readers burn whole scheduler quanta.
+//     then park on the shared waiter queue the releasing writer
+//     broadcasts into. Scalable when writers hold the lock long enough
+//     that spinning readers burn whole scheduler quanta.
 //
-// How readers *register* when no writer is about (ReaderStats):
+// How readers *register* when no writer is about (Stats().Readers):
 //
 //   - ModeCAS — readers compare-and-swap one centralized reader count.
 //     Cheapest for occasional reads, but every RLock/RUnlock from every
@@ -85,6 +87,12 @@ func RWReaderTable() *modal.Table { return readerShardTable }
 // strictly preferred: readers arriving during a writer's drain or hold
 // wait for its release, and a stream of back-to-back writers can keep
 // readers waiting longer than sync.RWMutex would.
+//
+// LockCtx and RLockCtx are the cancellation-aware acquisitions: both
+// return ctx.Err() promptly when ctx ends mid-wait, in either wait
+// protocol. A writer cancelled while draining readers retracts its claim
+// and wakes any readers it had parked, so a cancelled LockCtx leaves the
+// lock exactly as it found it.
 //
 // The zero value is an unlocked RWMutex in spin mode with centralized
 // registration and the package-default tunables; NewRWMutex builds one
@@ -123,14 +131,13 @@ type RWMutex struct {
 	slotsOnce sync.Once
 	slotsUp   atomic.Bool
 
-	mu       sync.Mutex // guards rcond's wait/broadcast ordering
-	rcond    *sync.Cond // parked readers (lazily created)
-	condOnce sync.Once
-	condUp   atomic.Bool  // rcond exists (some reader has parked)
-	rwaiters atomic.Int32 // readers parked or committing to park
-
-	wsema     chan struct{} // parked writer draining readers (lazily created)
-	wsemaOnce sync.Once
+	// rq holds parked readers (phase two of the reader wait protocol);
+	// a releasing writer broadcasts into it. wq holds the one draining
+	// writer parked waiting for active readers to leave; the last
+	// reader out grants into it. Both run on the shared waiter-queue
+	// engine (reactive/internal/waitq).
+	rq waitq.Queue
+	wq waitq.Queue
 
 	cfg config
 }
@@ -167,31 +174,26 @@ func NewRWMutex(opts ...Option) *RWMutex {
 	return rw
 }
 
-// Stats returns a snapshot of the reader wait protocol's adaptive state
-// (ModeSpin or ModePark). The embedded writer mutex keeps its own
-// statistics; ReaderStats reports the registration protocol.
+// Stats returns a snapshot of the lock's adaptive state: the reader wait
+// protocol (ModeSpin or ModePark) in Mode/Switches, everything blocked on
+// the lock in Waiters (parked readers, a draining writer, and writers
+// queued on the writer mutex), and the reader registration protocol in
+// Readers.
 func (rw *RWMutex) Stats() Stats {
-	return Stats{Mode: Mode(rw.eng.Mode()), Switches: rw.eng.Switches()}
-}
-
-// ReaderStats returns a snapshot of the reader registration protocol's
-// adaptive state: ModeCAS while readers register on the centralized
-// word, ModeSharded while they register in per-P slots.
-func (rw *RWMutex) ReaderStats() Stats {
-	return Stats{Mode: ModeCAS + Mode(rw.reng.Mode()), Switches: rw.reng.Switches()}
-}
-
-func (rw *RWMutex) readerCond() *sync.Cond {
-	rw.condOnce.Do(func() {
-		rw.rcond = sync.NewCond(&rw.mu)
-		rw.condUp.Store(true)
-	})
-	return rw.rcond
-}
-
-func (rw *RWMutex) writerSema() chan struct{} {
-	rw.wsemaOnce.Do(func() { rw.wsema = make(chan struct{}, 1) })
-	return rw.wsema
+	shards := 0
+	if rw.slotsUp.Load() {
+		shards = len(rw.slots)
+	}
+	return Stats{
+		Mode:     Mode(rw.eng.Mode()),
+		Switches: rw.eng.Switches(),
+		Waiters:  rw.rq.Len() + rw.wq.Len() + rw.w.q.Len(),
+		Readers: &ReaderStats{
+			Mode:     ModeCAS + Mode(rw.reng.Mode()),
+			Switches: rw.reng.Switches(),
+			Shards:   shards,
+		},
+	}
 }
 
 // readerSlots returns the slot array, creating it on first use, sized to
@@ -204,7 +206,8 @@ func (rw *RWMutex) readerSlots() []affinity.Cell {
 	return rw.slots
 }
 
-// RLock acquires the lock for reading.
+// RLock acquires the lock for reading. It is the uncancellable special
+// case of RLockCtx.
 //
 // The fast path records no wait-protocol detection event: unlike Mutex,
 // an unblocked read says nothing about how long readers wait *when they
@@ -216,22 +219,44 @@ func (rw *RWMutex) readerSlots() []affinity.Cell {
 // detection likewise lives in the slow path: only a CAS lost to another
 // reader signals that the centralized word is the bottleneck.
 func (rw *RWMutex) RLock() {
+	if rw.rlockFast() {
+		return
+	}
+	rw.rlockSlow(nil, nil)
+}
+
+// RLockCtx acquires the lock for reading like RLock, but gives up when
+// ctx is cancelled or its deadline passes, returning ctx.Err() promptly
+// in both wait protocols. On a nil error the caller holds a read lock and
+// must RUnlock it.
+func (rw *RWMutex) RLockCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if rw.rlockFast() {
+		return nil
+	}
+	return rw.rlockSlow(ctx, ctx.Done())
+}
+
+// rlockFast attempts one uncontended read registration under the current
+// registration protocol; false sends the caller to the slow path.
+func (rw *RWMutex) rlockFast() bool {
 	if rw.reng.Mode() == rSharded {
-		if rw.rlockSharded() {
-			return
-		}
-	} else if v := rw.readerCount.Load(); v >= 0 && rw.readerCount.CompareAndSwap(v, v+1) {
+		return rw.rlockSharded()
+	}
+	if v := rw.readerCount.Load(); v >= 0 && rw.readerCount.CompareAndSwap(v, v+1) {
 		// Re-validate the mode: the read that chose the centralized
 		// protocol may predate a commit to sharded whose writer has
 		// since released. Our +1 is registered, so the mode is frozen
 		// from here until RUnlock (a commit's drain cannot pass it);
 		// if the re-check still says centralized, RUnlock will too.
 		if rw.reng.Mode() == rCentral {
-			return
+			return true
 		}
 		rw.runlockCentral()
 	}
-	rw.rlockSlow()
+	return false
 }
 
 // rlockSharded attempts one sharded-mode registration: deposit a +1 in
@@ -268,13 +293,10 @@ func (rw *RWMutex) rlockSharded() bool {
 func (rw *RWMutex) runlockSharded(s *affinity.Cell) {
 	s.N.Add(-1)
 	if rw.readerCount.Load() < 0 {
-		// A writer is draining and may be parked on the semaphore
-		// waiting for the slot sum to reach zero; wake it to re-sweep.
-		// A stale token is consumed harmlessly (the drain re-checks).
-		select {
-		case rw.writerSema() <- struct{}{}:
-		default:
-		}
+		// A writer is draining and may be parked waiting for the slot
+		// sum to reach zero; wake it to re-sweep. A spurious grant is
+		// consumed harmlessly (the drain re-checks and re-parks).
+		rw.wq.Grant()
 	}
 }
 
@@ -290,10 +312,7 @@ func (rw *RWMutex) runlockCentral() {
 	}
 	// A writer is draining; if this was the last active reader, wake it.
 	if r == -rwBias {
-		select {
-		case rw.writerSema() <- struct{}{}:
-		default:
-		}
+		rw.wq.Grant()
 	}
 }
 
@@ -327,14 +346,26 @@ func (rw *RWMutex) TryRLock() bool {
 // spent blocked by a writer (negative centralized count) consume the
 // polling budget; reader-reader CAS races retry immediately — but each
 // loss to another reader is exactly the coherence traffic the sharded
-// protocol removes, so it votes toward sharded registration.
-func (rw *RWMutex) rlockSlow() {
+// protocol removes, so it votes toward sharded registration. A non-nil
+// done aborts the wait — between backoff pauses while spinning, by
+// unparking while parked — with ctx.Err().
+func (rw *RWMutex) rlockSlow(ctx context.Context, done <-chan struct{}) error {
 	budget := int(rw.cfg.pollBudget())
 	blocked := 0
 	casLosses := 0
 	var bo modal.Backoff
 	bo.Max = backoffCeiling
 	for {
+		// The cancellation check leads the loop so every retry path —
+		// registration races included, which `continue` straight back
+		// here — observes it, not just the writer-blocked spin below.
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		if rw.readerCount.Load() >= 0 {
 			// No writer claim: attempt a registration under the current
 			// protocol. Failures here are races (a claiming writer, a
@@ -342,7 +373,7 @@ func (rw *RWMutex) rlockSlow() {
 			if rw.reng.Mode() == rSharded {
 				if rw.rlockSharded() {
 					rw.noteReadWait(blocked, budget)
-					return
+					return nil
 				}
 				continue
 			}
@@ -363,7 +394,7 @@ func (rw *RWMutex) rlockSlow() {
 					rw.reng.Good(readerShardTable, rCentral, rSharded)
 				}
 				rw.noteReadWait(blocked, budget)
-				return
+				return nil
 			}
 			if rw.readerCount.Load() < 0 {
 				// The CAS lost to a writer's claim, not to another
@@ -381,7 +412,9 @@ func (rw *RWMutex) rlockSlow() {
 			continue
 		}
 		if rw.eng.Mode() == mPark && blocked >= budget {
-			rw.rlockPark()
+			if err := rw.rlockPark(ctx, done); err != nil {
+				return err
+			}
 			continue // woken with the claim cleared: retry registration
 		}
 		blocked++
@@ -408,19 +441,35 @@ func (rw *RWMutex) noteReadWait(blocked, budget int) {
 	}
 }
 
-// rlockPark is the reader's phase-two wait: park on the condition variable
-// until a releasing writer (or a protocol change) broadcasts. The monitor
-// pattern makes the wakeup airtight: the predicate is re-checked under mu,
-// and writers broadcast under mu after clearing the claim.
-func (rw *RWMutex) rlockPark() {
-	c := rw.readerCond()
-	c.L.Lock()
-	rw.rwaiters.Add(1)
-	for rw.readerCount.Load() < 0 {
-		c.Wait()
+// rlockPark is the reader's phase-two wait: park on the shared waiter
+// queue until a releasing writer (or a protocol change) broadcasts, or
+// done closes. Announce-then-check makes the wakeup airtight: the claim
+// is re-tested after the node is queued, and writers broadcast after
+// clearing the claim, so a reader can never park on a claim that was
+// already released. A cancelled reader leaves through Abandon, which
+// passes on any grant that raced in (harmless here — writer releases
+// broadcast — but it keeps one leave protocol for every queue).
+func (rw *RWMutex) rlockPark(ctx context.Context, done <-chan struct{}) error {
+	w := waitq.Get()
+	defer waitq.Put(w)
+	rw.rq.Push(w)
+	if rw.readerCount.Load() >= 0 {
+		// Claim cleared between the slow-path check and the announce:
+		// don't park on a release that already happened.
+		rw.rq.Abandon(w)
+		return nil
 	}
-	rw.rwaiters.Add(-1)
-	c.L.Unlock()
+	if done == nil {
+		<-w.Ready()
+		return nil
+	}
+	select {
+	case <-w.Ready():
+		return nil
+	case <-done:
+		rw.rq.Abandon(w)
+		return ctx.Err()
+	}
 }
 
 // RUnlock releases one read hold. The registration mode it observes is
@@ -437,7 +486,8 @@ func (rw *RWMutex) RUnlock() {
 	rw.runlockCentral()
 }
 
-// Lock acquires the lock for writing.
+// Lock acquires the lock for writing. It is the uncancellable special
+// case of LockCtx.
 func (rw *RWMutex) Lock() {
 	rw.w.Lock()
 	// Claim the lock; new readers now wait. Then drain active readers.
@@ -447,8 +497,36 @@ func (rw *RWMutex) Lock() {
 	// the slots without risking lost exclusion (the same reasoning as
 	// FetchOp.Value's permanent reconciliation).
 	if rw.readerCount.Add(-rwBias) != -rwBias || rw.slotsUp.Load() {
-		rw.drainReaders()
+		rw.drainReaders(nil, nil)
 	}
+}
+
+// LockCtx acquires the lock for writing like Lock, but gives up when ctx
+// is cancelled or its deadline passes, returning ctx.Err(). Cancellation
+// can land in either wait: while queued on the writer mutex (handled by
+// Mutex.LockCtx), or while draining readers — in which case the claim is
+// retracted and any readers parked behind it are woken, leaving the lock
+// exactly as it was found. On a nil error the caller holds the write lock
+// and must Unlock it.
+func (rw *RWMutex) LockCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := rw.w.LockCtx(ctx); err != nil {
+		return err
+	}
+	if rw.readerCount.Add(-rwBias) != -rwBias || rw.slotsUp.Load() {
+		if err := rw.drainReaders(ctx, ctx.Done()); err != nil {
+			// Cancelled mid-drain: retract the claim and wake the readers
+			// the transient claim may have parked (the same undo TryLock
+			// performs), then release the writer mutex.
+			rw.readerCount.Add(rwBias)
+			rw.rq.GrantAll()
+			rw.w.Unlock()
+			return err
+		}
+	}
+	return nil
 }
 
 // TryLock attempts to acquire the lock for writing without waiting.
@@ -468,11 +546,7 @@ func (rw *RWMutex) TryLock() bool {
 		// A park-mode reader may have parked during the transient
 		// claim; without this wake only a later writer's release would
 		// free it.
-		if rw.condUp.Load() && rw.rwaiters.Load() > 0 {
-			rw.mu.Lock()
-			rw.rcond.Broadcast()
-			rw.mu.Unlock()
-		}
+		rw.rq.GrantAll()
 		rw.w.Unlock()
 		return false
 	}
@@ -504,21 +578,26 @@ func (rw *RWMutex) drained() bool {
 }
 
 // drainReaders waits for the active readers to release, two-phase: poll
-// through the budget, then park on the writer semaphore that the last
-// draining reader (central or sharded) signals. It also runs the
-// registration protocol's scale-down detection: a drain that found the
-// lock already quiet means the slot machinery went unused across a whole
-// writer round — EmptyLimit consecutive such drains retire the sharded
-// protocol. The commit happens right here, under the writer's own
-// exclusion (claim in place, drain complete), so no reader can span it.
-func (rw *RWMutex) drainReaders() {
+// through the (deadline-aware) budget, then park on the writer-drain
+// queue that the last draining reader (central or sharded) grants into.
+// It also runs the registration protocol's scale-down detection: a drain
+// that found the lock already quiet means the slot machinery went unused
+// across a whole writer round — EmptyLimit consecutive such drains retire
+// the sharded protocol. The commit happens right here, under the writer's
+// own exclusion (claim in place, drain complete), so no reader can span
+// it. A non-nil done aborts the wait with ctx.Err(); the caller retracts
+// the claim.
+func (rw *RWMutex) drainReaders(ctx context.Context, done <-chan struct{}) error {
 	idle := rw.drained()
-	if !idle && !modal.Poll(rw.cfg.pollBudget(), rw.drained) {
-		sema := rw.writerSema()
-		for !rw.drained() {
-			// A stale token (from a drain that finished by polling) is
-			// consumed harmlessly: the loop re-checks before parking again.
-			<-sema
+	if !idle {
+		ok, aborted := modal.PollCh(rw.cfg.pollBudget(), done, rw.drained)
+		if aborted {
+			return ctx.Err()
+		}
+		if !ok {
+			if err := rw.parkDrain(ctx, done); err != nil {
+				return err
+			}
 		}
 	}
 	if rw.reng.Mode() == rSharded {
@@ -530,6 +609,37 @@ func (rw *RWMutex) drainReaders() {
 			rw.reng.Good(readerShardTable, rSharded, rCentral)
 		}
 	}
+	return nil
+}
+
+// parkDrain is the draining writer's phase-two wait: park on the
+// writer-drain queue until the last active reader grants a re-sweep, or
+// done closes. At most one writer drains at a time (the writer mutex is
+// held), so the queue holds at most one node; announce-then-check against
+// drained() closes the race with a reader that left before the announce.
+func (rw *RWMutex) parkDrain(ctx context.Context, done <-chan struct{}) error {
+	w := waitq.Get()
+	defer waitq.Put(w)
+	for {
+		rw.wq.Push(w)
+		if rw.drained() {
+			rw.wq.Abandon(w)
+			return nil
+		}
+		if done == nil {
+			<-w.Ready()
+		} else {
+			select {
+			case <-w.Ready():
+			case <-done:
+				rw.wq.Abandon(w)
+				return ctx.Err()
+			}
+		}
+		if rw.drained() {
+			return nil
+		}
+	}
 }
 
 // Unlock releases the write hold, waking parked readers so they can
@@ -537,15 +647,13 @@ func (rw *RWMutex) drainReaders() {
 func (rw *RWMutex) Unlock() {
 	// Parked readers sampled before the claim clears: the signal for the
 	// scalable→cheap detection below.
-	parked := rw.condUp.Load() && rw.rwaiters.Load() > 0
+	parked := rw.rq.Len() > 0
 	if rw.readerCount.Add(rwBias) != 0 {
 		panic("reactive: Unlock of unlocked RWMutex")
 	}
-	if parked || (rw.condUp.Load() && rw.rwaiters.Load() > 0) {
-		rw.mu.Lock()
-		rw.rcond.Broadcast()
-		rw.mu.Unlock()
-	}
+	// Broadcast after the claim clears: a reader that announces later
+	// re-checks the claim after queuing and leaves on its own.
+	rw.rq.GrantAll()
 	if rw.eng.Mode() == mPark {
 		if parked {
 			rw.eng.Good(spinParkTable, mPark, mSpin)
@@ -564,10 +672,8 @@ func (rw *RWMutex) Unlock() {
 // through the transition.
 func (rw *RWMutex) switchRWMode(want, next Mode) {
 	if rw.eng.TryCommit(spinParkTable, modal.Mode(want), modal.Mode(next)) {
-		if next == ModeSpin && rw.condUp.Load() {
-			rw.mu.Lock()
-			rw.rcond.Broadcast()
-			rw.mu.Unlock()
+		if next == ModeSpin {
+			rw.rq.GrantAll()
 		}
 	}
 }

@@ -69,7 +69,7 @@ func TestRWMutexReadZeroAllocs(t *testing.T) {
 
 	var sharded RWMutex
 	sharded.switchReaderMode(rCentral, rSharded)
-	if got := sharded.ReaderStats().Mode; got != ModeSharded {
+	if got := sharded.Stats().Readers.Mode; got != ModeSharded {
 		t.Fatalf("reader mode = %v, want sharded", got)
 	}
 	assertZeroAllocs(t, "RWMutex.RLock/sharded", func() {
@@ -107,7 +107,7 @@ func TestWithInitialMode(t *testing.T) {
 		t.Fatalf("forced-combining FetchOp Value = %d, want 50", got)
 	}
 	rw := NewRWMutex(WithInitialMode(ModeSharded))
-	if got := rw.ReaderStats().Mode; got != ModeSharded {
+	if got := rw.Stats().Readers.Mode; got != ModeSharded {
 		t.Fatalf("RWMutex initial registration mode = %v, want sharded", got)
 	}
 	if got := rw.Stats().Mode; got != ModeSpin {
@@ -121,7 +121,7 @@ func TestWithInitialMode(t *testing.T) {
 	if got := rw2.Stats().Mode; got != ModePark {
 		t.Fatalf("RWMutex wait mode = %v, want park", got)
 	}
-	if got := rw2.ReaderStats().Mode; got != ModeCAS {
+	if got := rw2.Stats().Readers.Mode; got != ModeCAS {
 		t.Fatalf("RWMutex registration mode = %v after wait-only option, want cas", got)
 	}
 	if got := rw2.w.eng.Mode(); got != mSpin {
@@ -224,8 +224,8 @@ func TestRWMutexReaderContentionPromotesToSharded(t *testing.T) {
 			rw.switchReaderMode(rCentral, rSharded)
 		}
 	}
-	if got := rw.ReaderStats(); got.Mode != ModeSharded || got.Switches != 1 {
-		t.Fatalf("ReaderStats = %+v after %d CAS losses, want sharded after 1 switch",
+	if got := rw.Stats().Readers; got.Mode != ModeSharded || got.Switches != 1 {
+		t.Fatalf("Stats().Readers = %+v after %d CAS losses, want sharded after 1 switch",
 			got, DefaultSpinFailLimit)
 	}
 	// Readers must still work, concurrently, in the new mode.
@@ -258,7 +258,7 @@ func TestRWMutexRegistrationStreakSemantics(t *testing.T) {
 		}
 		rw.reng.Good(readerShardTable, rCentral, rSharded) // loss-free registration
 	}
-	if got := rw.ReaderStats().Mode; got != ModeCAS {
+	if got := rw.Stats().Readers.Mode; got != ModeCAS {
 		t.Fatalf("reader mode = %v after broken loss streaks, want cas", got)
 	}
 }
@@ -272,7 +272,7 @@ func TestRWMutexQuietDrainsDemoteToCentral(t *testing.T) {
 		rw.Lock()
 		rw.Unlock()
 	}
-	if got := rw.ReaderStats().Mode; got != ModeCAS {
+	if got := rw.Stats().Readers.Mode; got != ModeCAS {
 		t.Fatalf("reader mode = %v after quiet writer drains, want cas", got)
 	}
 	// The slots stay built, and reads still work.
