@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full bench bench-compare lint examples
+.PHONY: all build test test-full bench bench-compare lint examples docs-check
 
 all: lint build test
 
@@ -48,3 +48,14 @@ bench-compare: bench
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+
+# The CI docs job: documentation that tests can check. The experiment
+# index in EXPERIMENTS.md must stay in lockstep with the registered
+# specs, the telemetry package must stay formatted and vetted, and
+# every godoc Example (the runnable half of the docs) must still
+# produce its documented output.
+docs-check:
+	$(GO) test -run TestExperimentIndexInSync ./internal/experiments
+	@out="$$(gofmt -l reactive/reactivehttp)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./reactive/reactivehttp
+	$(GO) test -run Example ./...

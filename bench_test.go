@@ -32,6 +32,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/waitanalysis"
 	"repro/reactive"
+	"repro/reactive/policy"
 )
 
 // BenchmarkExperimentMatrix runs every registered experiment at
@@ -276,7 +277,7 @@ func BenchmarkTable4_6_HalfB(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §8) ---
+// --- Ablations (DESIGN.md §9) ---
 
 func BenchmarkAblationOptimisticTAS(b *testing.B) {
 	for _, proto := range []string{"reactive", "reactive-nonoptimistic"} {
@@ -368,6 +369,17 @@ func BenchmarkNativeMutex(b *testing.B) {
 	})
 	b.Run("uncontended/sync.Mutex", func(b *testing.B) {
 		var m sync.Mutex
+		for i := 0; i < b.N; i++ {
+			m.Lock()
+			m.Unlock()
+		}
+	})
+	// Carrying the congestion policy must be nearly free on the cheap
+	// path: an uncontended Lock never calls Suboptimal, and the policy's
+	// Quiescent state lets the primitive elide the Optimal bookkeeping,
+	// so this row must track plain uncontended/reactive.
+	b.Run("uncontended-congestion/reactive", func(b *testing.B) {
+		m := reactive.New(reactive.WithPolicy(policy.NewCongestion()))
 		for i := 0; i < b.N; i++ {
 			m.Lock()
 			m.Unlock()
@@ -546,6 +558,23 @@ func BenchmarkNativeFetchOp(b *testing.B) {
 		})
 		b.ReportMetric(float64(f.Stats().Mode), "endmode")
 	})
+	// Congestion-policy variant of the forced sharded row: same fast
+	// path, with policy.Congestion installed instead of the built-in
+	// streak detection. Apply-only sharded traffic generates no
+	// scale-down votes, so the row is mode-stable on any host and prices
+	// exactly the cost of carrying the feedback-control policy (its
+	// Quiescent elision included) on the per-P fast path.
+	b.Run("sharded-forced-congestion/reactive", func(b *testing.B) {
+		f := reactive.NewFetchOp(add, 0,
+			reactive.WithInitialMode(reactive.ModeSharded),
+			reactive.WithPolicy(policy.NewCongestion()))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				f.Apply(1)
+			}
+		})
+		b.ReportMetric(float64(f.Stats().Mode), "endmode")
+	})
 }
 
 // BenchmarkNativeRWMutex measures the reactive reader/writer lock
@@ -575,6 +604,17 @@ func BenchmarkNativeRWMutex(b *testing.B) {
 			rw.RLock()
 			rw.RUnlock()
 		}
+	})
+	// Congestion policy on the reader wait protocol (WithPolicy governs
+	// only that engine; registration keeps its own detection): the
+	// uncontended RLock fast path must not pay for the installed policy.
+	b.Run("read-uncontended-congestion/reactive", func(b *testing.B) {
+		rw := reactive.NewRWMutex(reactive.WithPolicy(policy.NewCongestion()))
+		for i := 0; i < b.N; i++ {
+			rw.RLock()
+			rw.RUnlock()
+		}
+		readerMode(b, rw)
 	})
 	b.Run("read-contended/reactive", func(b *testing.B) {
 		var rw reactive.RWMutex

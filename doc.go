@@ -15,5 +15,12 @@
 // engine. The generic N-mode modal-object engine every mode change
 // routes through — native and simulated alike — is reactive/modal, and
 // the protocol-switching policies both layers consume are in
-// reactive/policy.
+// reactive/policy, from the thesis's streak detectors up to the
+// congestion-control policy (policy.Congestion) that treats residual
+// costs as RTT samples and mode occupancy as a congestion window.
+// Live telemetry rides on the uniform Stats surface: snapshots marshal
+// to JSON, Stats.Sub converts two of them into a rate-ready delta, and
+// reactive/reactivehttp exports a named-primitive registry over expvar
+// and a /debug/reactive HTTP endpoint with per-interval mode residency
+// and switch rates.
 package repro

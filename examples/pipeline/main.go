@@ -10,19 +10,29 @@
 // polling budget vote it into reader-parking mode, and a run of quick
 // updates brings it back.
 //
+// The lock's decisions are watched the way an operator would: the
+// RWMutex is registered in a reactivehttp.Registry, published over
+// expvar, and scraped through the /debug/reactive endpoint after each
+// phase — the printed delta/rate lines come from the HTTP response, not
+// from in-process state.
+//
 //	go run ./examples/pipeline
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/reactive"
+	"repro/reactive/reactivehttp"
 )
 
 // routes is the shared routing table: item key → pipeline stage weight.
@@ -52,6 +62,18 @@ func main() {
 		stale.Store(&s)
 	}
 	publish()
+
+	// Telemetry: name the lock, publish the registry on /debug/vars, and
+	// mount the poll-aware /debug/reactive handler. An httptest server
+	// keeps the example self-contained; a real service would mount on its
+	// own mux (or pass nil for http.DefaultServeMux).
+	var registry reactivehttp.Registry
+	registry.Register("routes", rw)
+	reactivehttp.Publish("pipeline", &registry)
+	mux := http.NewServeMux()
+	reactivehttp.Handle(mux, &registry)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
 
 	var fresh, degraded, processed atomic.Int64
 	// lookup routes one item within deadline d: live table when the read
@@ -91,11 +113,26 @@ func main() {
 		}(s)
 	}
 
+	// report scrapes /debug/reactive like a monitoring agent would and
+	// prints the pipeline's own counters next to the lock telemetry the
+	// endpoint computed for this poll interval: the mode, the protocol
+	// changes since the previous scrape, and the switch rate they imply.
 	report := func(name string) {
-		st := rw.Stats()
-		fmt.Printf("%-28s mode=%-5v switches=%d items=%d fresh=%d stale=%d\n",
-			name, st.Mode, st.Switches, processed.Load(), fresh.Load(), degraded.Load())
+		resp, err := http.Get(srv.URL + "/debug/reactive")
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		var rep reactivehttp.Report
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			panic(err)
+		}
+		st := rep.Primitives["routes"]
+		fmt.Printf("%-28s mode=%-5v switches=%d (+%d this phase, %.1f/s) items=%d fresh=%d stale=%d\n",
+			name, st.Mode, st.Switches, st.Delta.Switches, st.SwitchRate,
+			processed.Load(), fresh.Load(), degraded.Load())
 	}
+	report("startup")
 
 	// Phase 1: rare, quick config updates — readers stay in spin mode and
 	// essentially every lookup beats its deadline.

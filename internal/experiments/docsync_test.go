@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// experimentsDoc locates the repository-level EXPERIMENTS.md relative to
+// this package.
+const experimentsDoc = "../../EXPERIMENTS.md"
+
+// indexRow matches a table row of the experiment index whose first cell
+// is a backticked experiment name: | `fig3.15-spinlocks` | ... |
+var indexRow = regexp.MustCompile("^\\| *`([^`]+)` *\\|")
+
+// readExperimentIndex parses the "## Experiment index" section of
+// EXPERIMENTS.md and returns the experiment names its table documents,
+// in order.
+func readExperimentIndex(t *testing.T) []string {
+	t.Helper()
+	f, err := os.Open(filepath.FromSlash(experimentsDoc))
+	if err != nil {
+		t.Fatalf("EXPERIMENTS.md not readable: %v", err)
+	}
+	defer f.Close()
+
+	var names []string
+	inSection := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "## ") {
+			inSection = strings.HasPrefix(line, "## Experiment index")
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if m := indexRow.FindStringSubmatch(line); m != nil {
+			names = append(names, m[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestExperimentIndexInSync keeps EXPERIMENTS.md honest: every
+// registered experiment must have a row in the "## Experiment index"
+// table, and every row must name a registered experiment. Registering a
+// spec without documenting it — or renaming one and leaving the stale
+// row behind — fails here.
+func TestExperimentIndexInSync(t *testing.T) {
+	documented := readExperimentIndex(t)
+	if len(documented) == 0 {
+		t.Fatal("EXPERIMENTS.md has no '## Experiment index' table rows")
+	}
+
+	docSet := make(map[string]int, len(documented))
+	for _, name := range documented {
+		if _, dup := docSet[name]; dup {
+			t.Errorf("EXPERIMENTS.md documents %q twice", name)
+		}
+		docSet[name]++
+	}
+
+	registered := Default.Names()
+	regSet := make(map[string]bool, len(registered))
+	for _, name := range registered {
+		regSet[name] = true
+		if _, ok := docSet[name]; !ok {
+			t.Errorf("registered experiment %q has no EXPERIMENTS.md index row", name)
+		}
+	}
+	for _, name := range documented {
+		if !regSet[name] {
+			t.Errorf("EXPERIMENTS.md index row %q names no registered experiment (stale?)", name)
+		}
+	}
+}

@@ -153,6 +153,7 @@ func NativeFopPolicies(sz Sizes) *stats.Table {
 		}},
 		{"hysteresis(3,8)", func() policy.Policy { return policy.NewHysteresis(3, 8) }},
 		{"weighted-average", func() policy.Policy { return policy.NewWeightedAverage(64, 192) }},
+		{"congestion", func() policy.Policy { return policy.NewCongestion() }},
 	}
 	tab := reactive.FetchOpTable()
 	t := &stats.Table{Header: []string{"policy", "end-mode", "%cas", "%sharded", "%combining", "switches"}}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/reactive"
+	"repro/reactive/policy"
 )
 
 // NativeResult is one wall-clock measurement of a native (non-simulated)
@@ -183,6 +184,43 @@ func NativePrimitives() []NativeResult {
 			if i%64 == 0 {
 				cf.Value()
 			}
+		}
+	}))
+	// Congestion-policy rows, one per primitive: the cheap paths
+	// (uncontended Lock/RLock, where the policy's Quiescent state lets
+	// the primitive elide its bookkeeping) and the forced sharded fast
+	// paths with policy.Congestion installed in place of the streak
+	// detection. Apply/Add-only sharded traffic generates no scale-down
+	// votes, so the forced rows stay mode-stable on any host; any drift
+	// against the policy-free counterparts is the price of carrying the
+	// feedback-control policy.
+	cgm := reactive.New(reactive.WithPolicy(policy.NewCongestion()))
+	out = append(out, measureNative("mutex/uncontended-congestion/reactive", 1, func(per int) {
+		for i := 0; i < per; i++ {
+			cgm.Lock()
+			cgm.Unlock()
+		}
+	}))
+	cgrw := reactive.NewRWMutex(reactive.WithPolicy(policy.NewCongestion()))
+	out = append(out, measureNative("rwmutex/read-uncontended-congestion/reactive", 1, func(per int) {
+		for i := 0; i < per; i++ {
+			cgrw.RLock()
+			cgrw.RUnlock()
+		}
+	}))
+	scc := reactive.NewCounter(reactive.WithInitialMode(reactive.ModeSharded),
+		reactive.WithPolicy(policy.NewCongestion()))
+	out = append(out, measureNative("counter/sharded-forced-congestion/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			scc.Add(1)
+		}
+	}))
+	sfc := reactive.NewFetchOp(func(a, b int64) int64 { return a + b }, 0,
+		reactive.WithInitialMode(reactive.ModeSharded),
+		reactive.WithPolicy(policy.NewCongestion()))
+	out = append(out, measureNative("fetchop/sharded-forced-congestion/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			sfc.Apply(1)
 		}
 	}))
 	srrw := reactive.NewRWMutex(reactive.WithInitialMode(reactive.ModeSharded))

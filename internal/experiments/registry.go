@@ -266,6 +266,18 @@ var Default = func() *Registry {
 		Groups: []string{"native"},
 		Run:    NativeRWReaderTrace,
 	})
+	r.Register(Spec{
+		Name: "native-congestion-trace", Figure: "Extension (congestion policy)", Tool: ToolReactsim,
+		Title:  "Extension: congestion-control policy (AIMD window, sRTT estimator) on the native fetch-op modal engine",
+		Groups: []string{"native", "congestion"},
+		Run:    NativeCongestionTrace,
+	})
+	r.Register(Spec{
+		Name: "native-telemetry-deltas", Figure: "Extension (telemetry)", Tool: ToolReactsim,
+		Title:  "Extension: Snapshot.Sub telemetry deltas over the native primitives' scale-down paths",
+		Groups: []string{"native", "telemetry"},
+		Run:    NativeTelemetryDeltas,
+	})
 
 	// Chapter 4: waiting algorithms (waitsim).
 	r.Register(Spec{

@@ -135,6 +135,25 @@ func ExampleFetchOp() {
 	// Output: 7999
 }
 
+// ExampleStats_Sub shows the rate-conversion idiom: poll Stats() on an
+// interval, Sub the previous snapshot, and read the monotonic fields as
+// "per interval" rates. Here a counter starts in its sharded protocol,
+// the idle single-goroutine workload drives it back down to the CAS
+// word, and the delta reports exactly that one protocol change.
+func ExampleStats_Sub() {
+	counter := reactive.NewCounter(reactive.WithInitialMode(reactive.ModeSharded))
+	prev := counter.Stats() // earlier poll
+
+	for counter.Stats().Mode != reactive.ModeCAS {
+		counter.Add(1)
+		counter.Load() // idle reconciling reads vote the protocol back down
+	}
+
+	delta := counter.Stats().Sub(prev) // later poll, as a delta
+	fmt.Printf("mode=%v switches+%d\n", delta.Mode, delta.Switches)
+	// Output: mode=cas switches+1
+}
+
 // ExampleRWMutex shows the adaptive reader/writer lock: readers spin when
 // writer holds are short and park when they are long.
 func ExampleRWMutex() {

@@ -1,0 +1,157 @@
+package policy
+
+// Congestion is a feedback-control switching policy modeled on TCP
+// congestion control rather than on the thesis's streak counters. It
+// treats the residual cost of each sub-optimal request as a round-trip
+// time sample and maintains an RFC 6298-style smoothed estimate
+// (sRTT/RTTVAR, all integer arithmetic), and it treats mode occupancy —
+// the number of requests the current protocol has served since the last
+// switch — as a congestion window that gates how eagerly the policy is
+// allowed to switch again.
+//
+// The mapping, in congestion-control terms (DESIGN.md §6):
+//
+//   - RTT sample: the residual cost passed to Suboptimal. sRTT and
+//     RTTVAR evolve exactly as in RFC 6298 (srtt = 7/8·srtt + 1/8·R,
+//     rttvar = 3/4·rttvar + 1/4·|srtt−R|, RTO = srtt + 4·rttvar),
+//     with the divisions truncating.
+//   - Loss signal: a sample exceeding the current RTO. Such outliers
+//     accumulate pressure at twice their residual.
+//   - cwnd: the occupancy window wnd. A switch in direction d fires
+//     when that direction's accumulated pressure reaches wnd·sRTT, so
+//     with a steady residual the policy behaves like a streak counter
+//     of length ≈ wnd whose threshold self-scales to the observed
+//     cost level.
+//   - AIMD: the window adapts at each Switched call. A premature flip — the
+//     mode was abandoned after serving fewer than wnd/2 requests —
+//     is the congestion event: the window doubles (multiplicative
+//     damping of the switch rate, up to MaxWindow). A switch out of a
+//     long stable residency (≥ 8·wnd requests) additively shrinks the
+//     window by one (down to MinWindow), restoring agility.
+//
+// Pressure in one direction clears pressure in the other, and any
+// optimal request halves both accumulators, so the policy decays toward
+// quiescence whenever the evidence is mixed. Everything is driven by
+// the call sequence alone — no wall clock, no randomness — so the same
+// instance produces byte-identical decisions in the simulator's
+// deterministic experiments and on the native primitives.
+//
+// Like every Policy, a Congestion instance is not synchronized and must
+// not be shared between primitives; the consumer serializes all calls.
+type Congestion struct {
+	// MinWindow and MaxWindow bound the occupancy window. The
+	// constructor sets 2 and 256.
+	MinWindow uint64
+	MaxWindow uint64
+
+	wnd       uint64    // occupancy window (cwnd analog)
+	srtt      uint64    // smoothed residual estimate
+	rttvar    uint64    // smoothed residual deviation
+	hasSample bool      // first-sample initialization done
+	pressure  [2]uint64 // per-direction accumulated residual
+	occupancy uint64    // requests observed since the last switch
+}
+
+// DefaultCongestionWindow is the initial occupancy window installed by
+// NewCongestion — deliberately the same streak length as the native
+// primitives' DefaultEmptyLimit, so an untuned Congestion starts with
+// comparable inertia to the built-in detection.
+const DefaultCongestionWindow = 8
+
+// NewCongestion builds a Congestion policy with the default window
+// bounds (2..256) and initial window DefaultCongestionWindow.
+func NewCongestion() *Congestion {
+	return &Congestion{MinWindow: 2, MaxWindow: 256, wnd: DefaultCongestionWindow}
+}
+
+// Name implements Policy.
+func (p *Congestion) Name() string { return "congestion" }
+
+// sample folds one residual observation into the sRTT/RTTVAR estimate.
+func (p *Congestion) sample(r uint64) {
+	if !p.hasSample {
+		p.srtt = r
+		p.rttvar = r / 2
+		p.hasSample = true
+		return
+	}
+	diff := p.srtt - r
+	if r > p.srtt {
+		diff = r - p.srtt
+	}
+	p.rttvar = (3*p.rttvar + diff) / 4
+	p.srtt = (7*p.srtt + r) / 8
+}
+
+// Suboptimal implements Policy. Each call contributes one RTT sample to
+// the estimator and residual-weighted pressure toward a switch in dir;
+// samples above the current RTO count double. It reports true once the
+// direction's pressure reaches wnd·sRTT.
+func (p *Congestion) Suboptimal(dir Direction, residual uint64) bool {
+	d := int(dir) & 1
+	p.occupancy++
+	rto := p.srtt + 4*p.rttvar
+	p.sample(residual)
+	w := residual
+	if w == 0 {
+		w = 1
+	}
+	if p.hasSample && residual > rto && rto > 0 {
+		w *= 2
+	}
+	p.pressure[d] += w
+	p.pressure[1-d] = 0
+	threshold := p.wnd * p.srtt
+	if threshold == 0 {
+		threshold = p.wnd
+	}
+	return p.pressure[d] >= threshold
+}
+
+// Optimal implements Policy. An optimal request is counted toward the
+// current mode's occupancy and halves both pressure accumulators, so
+// mixed evidence decays toward quiescence. Consumers may elide these
+// calls while the policy is Quiescent (see Quiescer); elision only
+// undercounts occupancy, which makes the window adaptation strictly
+// more conservative.
+func (p *Congestion) Optimal(Direction) {
+	p.occupancy++
+	p.pressure[0] /= 2
+	p.pressure[1] /= 2
+}
+
+// Switched implements Policy: the AIMD step. A premature flip (the mode
+// served fewer than wnd/2 requests) doubles the window up to MaxWindow;
+// leaving a long stable residency (≥ 8·wnd requests) shrinks it by one
+// down to MinWindow. Pressure and occupancy reset for the new mode; the
+// RTT estimate is retained — it describes the workload, not the mode.
+func (p *Congestion) Switched() {
+	switch {
+	case 2*p.occupancy < p.wnd:
+		p.wnd *= 2
+		if p.wnd > p.MaxWindow {
+			p.wnd = p.MaxWindow
+		}
+	case p.occupancy >= 8*p.wnd && p.wnd > p.MinWindow:
+		p.wnd--
+	}
+	p.occupancy = 0
+	p.pressure[0], p.pressure[1] = 0, 0
+}
+
+// Quiescent implements Quiescer: with both accumulators empty, only a
+// Suboptimal call can move the policy toward a switch.
+func (p *Congestion) Quiescent() bool { return p.pressure[0] == 0 && p.pressure[1] == 0 }
+
+// Window reports the current occupancy window (the cwnd analog), for
+// experiment output and tests.
+func (p *Congestion) Window() uint64 { return p.wnd }
+
+// SRTT reports the smoothed residual estimate, in the same abstract cost
+// units the samples arrive in.
+func (p *Congestion) SRTT() uint64 { return p.srtt }
+
+// RTO reports the current retransmission-timeout analog,
+// sRTT + 4·RTTVAR: the outlier threshold above which a sample's
+// pressure contribution doubles.
+func (p *Congestion) RTO() uint64 { return p.srtt + 4*p.rttvar }

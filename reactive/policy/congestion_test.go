@@ -1,0 +1,211 @@
+package policy
+
+import "testing"
+
+func TestCongestionEstimator(t *testing.T) {
+	p := NewCongestion()
+	if p.SRTT() != 0 || p.RTO() != 0 {
+		t.Fatal("fresh policy must have a zero estimate")
+	}
+	// First sample initializes per RFC 6298: srtt = R, rttvar = R/2.
+	p.Suboptimal(0, 100)
+	if got := p.SRTT(); got != 100 {
+		t.Fatalf("srtt after first sample = %d, want 100", got)
+	}
+	if got := p.RTO(); got != 100+4*50 {
+		t.Fatalf("rto after first sample = %d, want 300", got)
+	}
+	// Subsequent samples: rttvar = (3·rttvar + |srtt−R|)/4 first, then
+	// srtt = (7·srtt + R)/8, truncating.
+	p.Suboptimal(0, 200)
+	// rttvar = (3·50 + 100)/4 = 62, srtt = (7·100 + 200)/8 = 112.
+	if got := p.SRTT(); got != 112 {
+		t.Fatalf("srtt after second sample = %d, want 112", got)
+	}
+	if got := p.RTO(); got != 112+4*62 {
+		t.Fatalf("rto after second sample = %d, want 360", got)
+	}
+	// A steady stream converges the estimate to the sample value.
+	q := NewCongestion()
+	for i := 0; i < 200; i++ {
+		q.Suboptimal(0, 150)
+		q.Switched() // keep pressure from saturating; estimate is retained
+	}
+	if got := q.SRTT(); got < 145 || got > 150 {
+		t.Fatalf("srtt did not converge to the steady sample: %d", got)
+	}
+}
+
+func TestCongestionSwitchesAfterWindow(t *testing.T) {
+	// With a steady residual, pressure grows by ≈ sRTT per sample, so the
+	// wnd·sRTT threshold behaves like a streak counter of length ≈ wnd.
+	p := NewCongestion()
+	n := 0
+	for !p.Suboptimal(0, steadyResidual) {
+		n++
+		if n > 4*DefaultCongestionWindow {
+			t.Fatalf("no switch after %d steady sub-optimal samples", n)
+		}
+	}
+	if n+1 < DefaultCongestionWindow/2 {
+		t.Fatalf("switched after only %d samples; window is %d", n+1, DefaultCongestionWindow)
+	}
+}
+
+// steadyResidual is the steady residual used across the congestion tests —
+// the cheap-protocol-under-contention cost the native primitives charge.
+const steadyResidual = 150
+
+func TestCongestionOppositePressureClears(t *testing.T) {
+	p := NewCongestion()
+	for i := 0; i < 5; i++ {
+		p.Suboptimal(0, steadyResidual)
+	}
+	// Evidence in the other direction discards direction 0's pressure.
+	p.Suboptimal(1, 15)
+	for i := 0; i < 5; i++ {
+		if p.Suboptimal(0, steadyResidual) {
+			t.Fatalf("direction 0 switched after %d samples post-reset", i+1)
+		}
+	}
+}
+
+func TestCongestionOptimalDecays(t *testing.T) {
+	p := NewCongestion()
+	p.Suboptimal(0, steadyResidual)
+	if p.Quiescent() {
+		t.Fatal("quiescent right after a sub-optimal sample")
+	}
+	for i := 0; i < 64 && !p.Quiescent(); i++ {
+		p.Optimal(0)
+	}
+	if !p.Quiescent() {
+		t.Fatal("optimal stream must decay pressure to quiescence")
+	}
+}
+
+func TestCongestionAIMDWindow(t *testing.T) {
+	p := NewCongestion()
+	if p.Window() != DefaultCongestionWindow {
+		t.Fatalf("initial window = %d, want %d", p.Window(), DefaultCongestionWindow)
+	}
+	// Premature flip: fewer than wnd/2 requests since the last switch
+	// doubles the window.
+	p.Suboptimal(0, steadyResidual)
+	p.Switched()
+	if p.Window() != 2*DefaultCongestionWindow {
+		t.Fatalf("window after premature flip = %d, want %d", p.Window(), 2*DefaultCongestionWindow)
+	}
+	// Doubling saturates at MaxWindow.
+	for i := 0; i < 20; i++ {
+		p.Suboptimal(0, steadyResidual)
+		p.Switched()
+	}
+	if p.Window() != p.MaxWindow {
+		t.Fatalf("window did not saturate at MaxWindow: %d", p.Window())
+	}
+	// Long stable residency shrinks the window additively.
+	q := NewCongestion()
+	for i := uint64(0); i < 8*DefaultCongestionWindow; i++ {
+		q.Optimal(0)
+	}
+	q.Switched()
+	if q.Window() != DefaultCongestionWindow-1 {
+		t.Fatalf("window after stable residency = %d, want %d", q.Window(), DefaultCongestionWindow-1)
+	}
+	// Shrinking saturates at MinWindow.
+	for i := 0; i < 100; i++ {
+		for j := uint64(0); j < 8*q.Window(); j++ {
+			q.Optimal(0)
+		}
+		q.Switched()
+	}
+	if q.Window() != q.MinWindow {
+		t.Fatalf("window did not saturate at MinWindow: %d", q.Window())
+	}
+}
+
+func TestCongestionOutliersCountDouble(t *testing.T) {
+	// Prime two identical estimators, then feed one outliers (above RTO)
+	// and the other in-range samples of the same magnitude relative to
+	// the threshold math: the outlier stream must reach a switch in
+	// fewer samples than pressure/residual alone would predict.
+	p := NewCongestion()
+	p.Suboptimal(0, 10) // srtt=10, rttvar=5, rto=30
+	p.Switched()        // clear pressure; estimate retained
+	n := 0
+	for !p.Suboptimal(0, 100) { // 100 > rto: counts double
+		n++
+		if n > 100 {
+			t.Fatal("outlier stream never switched")
+		}
+	}
+	q := NewCongestion()
+	q.Suboptimal(0, 100) // srtt=100: same sample is in-range
+	q.Switched()
+	m := 0
+	for !q.Suboptimal(0, 100) {
+		m++
+		if m > 100 {
+			t.Fatal("in-range stream never switched")
+		}
+	}
+	if n >= m {
+		t.Fatalf("outlier samples (switch after %d) must out-pressure in-range samples (after %d)", n+1, m+1)
+	}
+}
+
+func TestCongestionQuiescer(t *testing.T) {
+	var p Policy = NewCongestion()
+	q, ok := p.(Quiescer)
+	if !ok {
+		t.Fatal("Congestion must implement Quiescer")
+	}
+	if !q.Quiescent() {
+		t.Fatal("not quiescent at start")
+	}
+	p.Suboptimal(0, 10)
+	if q.Quiescent() {
+		t.Fatal("quiescent right after a sub-optimal request")
+	}
+	p.Switched()
+	if !q.Quiescent() {
+		t.Fatal("not quiescent after Switched")
+	}
+}
+
+func TestCongestionDeterministic(t *testing.T) {
+	// Two instances fed the same call sequence agree on every decision
+	// and every observable — the property the registry experiments rely
+	// on for serial==parallel identity.
+	run := func() (decisions []bool, wnd, srtt uint64) {
+		p := NewCongestion()
+		for i := 0; i < 500; i++ {
+			switch i % 7 {
+			case 0, 1, 2:
+				decisions = append(decisions, p.Suboptimal(Direction(i%2), uint64(10+i%140)))
+			case 3:
+				p.Optimal(0)
+			case 4:
+				p.Suboptimal(0, 150)
+			case 5:
+				p.Optimal(1)
+			default:
+				if len(decisions) > 0 && decisions[len(decisions)-1] {
+					p.Switched()
+				}
+			}
+		}
+		return decisions, p.Window(), p.SRTT()
+	}
+	d1, w1, s1 := run()
+	d2, w2, s2 := run()
+	if w1 != w2 || s1 != s2 || len(d1) != len(d2) {
+		t.Fatalf("replay diverged: wnd %d/%d srtt %d/%d", w1, w2, s1, s2)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("decision %d diverged", i)
+		}
+	}
+}

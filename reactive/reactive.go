@@ -40,7 +40,11 @@
 // a cancelled waiter on to the next one, so cancellation can never
 // strand a waiter (DESIGN.md §5). Every primitive reports the same
 // Stats shape: current mode, committed protocol changes, parked
-// waiters, and (for RWMutex) the reader-registration protocol.
+// waiters, and (for RWMutex) the reader-registration protocol. Stats
+// marshals to JSON, Stats.Sub turns two snapshots into an interval
+// delta with documented monotonic-counter semantics (DESIGN.md §6),
+// and the reactive/reactivehttp subpackage exports a registry of named
+// primitives over expvar and a /debug/reactive HTTP endpoint.
 //
 // The zero value of each type is ready to use with the package-default
 // tunables. New, NewCounter, NewRWMutex, and NewFetchOp accept Options
@@ -48,7 +52,9 @@
 // WithEmptyLimit), the polling budget (WithPollIters), the starting
 // protocol (WithInitialMode), or replace the built-in streak detection
 // with any policy from the reactive/policy package (WithPolicy) — the
-// same Policy interface the simulator's reactive algorithms consume.
+// same Policy interface the simulator's reactive algorithms consume,
+// up to policy.Congestion's AIMD window over an RFC 6298-style
+// residual-cost estimator.
 // All mode changes, in every primitive, go through the same
 // reactive/modal transition engine the simulator's algorithms validate
 // against, and the sharded protocols select their per-processor shard
@@ -243,24 +249,31 @@ func (c *config) pollBudget() int32 {
 // changes have been committed, how many goroutines are blocked in a
 // phase-two wait, and — for RWMutex only — the orthogonal reader
 // registration protocol's state.
+//
+// A Stats value marshals to JSON with lower-case field names and the
+// Mode rendered as its protocol name ("spin", "park", "cas", "sharded",
+// "combining"); Sub converts two snapshots into a delta whose monotonic
+// counters can be divided by the polling interval to obtain rates (see
+// DESIGN.md §6 and the reactive/reactivehttp package).
 type Stats struct {
 	// Mode is the currently selected protocol: the wait protocol for
 	// Mutex and RWMutex (ModeSpin/ModePark), the update protocol for
-	// Counter and FetchOp (ModeCAS/ModeSharded/ModeCombining).
-	Mode Mode
+	// Counter and FetchOp (ModeCAS/ModeSharded/ModeCombining). A gauge:
+	// Sub keeps the newer snapshot's value.
+	Mode Mode `json:"mode"`
 	// Switches counts the protocol changes committed by that mode's
-	// engine.
-	Switches uint64
+	// engine. Monotonic: Sub returns the difference.
+	Switches uint64 `json:"switches"`
 	// Waiters counts the goroutines currently parked (or committing to
 	// park) on the primitive's waiter queues: lockers for Mutex; parked
 	// readers, a draining writer, and writers queued on the writer mutex
 	// for RWMutex; reconciling readers waiting for the sweep window for
-	// Counter and FetchOp.
-	Waiters int
+	// Counter and FetchOp. A gauge: Sub keeps the newer snapshot's value.
+	Waiters int `json:"waiters"`
 	// Readers describes RWMutex's reader registration protocol
 	// (centralized CAS word vs BRAVO-style sharded per-P slots); nil for
 	// every other primitive.
-	Readers *ReaderStats
+	Readers *ReaderStats `json:"readers,omitempty"`
 }
 
 // ReaderStats describes RWMutex's reader registration modal object — the
@@ -268,13 +281,15 @@ type Stats struct {
 // how they wait when one is.
 type ReaderStats struct {
 	// Mode is ModeCAS while readers register on the centralized word,
-	// ModeSharded while they register in per-P slots.
-	Mode Mode
+	// ModeSharded while they register in per-P slots. A gauge under Sub.
+	Mode Mode `json:"mode"`
 	// Switches counts committed registration-protocol changes.
-	Switches uint64
+	// Monotonic: Sub returns the difference.
+	Switches uint64 `json:"switches"`
 	// Shards is the per-P slot count once the slot array exists, 0 while
-	// the lock has only ever registered readers centrally.
-	Shards int
+	// the lock has only ever registered readers centrally. A gauge under
+	// Sub.
+	Shards int `json:"shards"`
 }
 
 // Stats returns a snapshot of the mutex's adaptive state.

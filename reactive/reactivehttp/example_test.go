@@ -1,0 +1,46 @@
+package reactivehttp_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/reactive"
+	"repro/reactive/reactivehttp"
+)
+
+// ExampleHandle shows the HTTP export end to end: name the primitives
+// in a Registry, mount the handler, and poll /debug/reactive. Each poll
+// returns every primitive's current protocol plus the delta, switch
+// rate, and mode residency since the previous poll (zero here — the
+// first poll has nothing to diff against).
+func ExampleHandle() {
+	var registry reactivehttp.Registry
+	registry.Register("hits", reactive.NewCounter())
+	registry.Register("routes", reactive.NewRWMutex())
+
+	mux := http.NewServeMux()
+	reactivehttp.Handle(mux, &registry)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/reactive")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+
+	var report reactivehttp.Report
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		panic(err)
+	}
+	for _, name := range []string{"hits", "routes"} {
+		p := report.Primitives[name]
+		fmt.Printf("%s mode=%v switches=%d waiters=%d\n",
+			name, p.Stats.Mode, p.Stats.Switches, p.Stats.Waiters)
+	}
+	// Output:
+	// hits mode=cas switches=0 waiters=0
+	// routes mode=spin switches=0 waiters=0
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/reactive/internal/affinity"
+	"repro/reactive/policy"
 )
 
 // --- Zero-allocation assertions -------------------------------------
@@ -58,6 +59,27 @@ func TestFetchOpApplyZeroAllocs(t *testing.T) {
 	combining.switchFop(fCAS, fSharded)
 	combining.switchFop(fSharded, fCombining)
 	assertZeroAllocs(t, "FetchOp.Apply/combining", func() { combining.Apply(1) })
+}
+
+// TestCongestionPolicyZeroAllocs pins the uncontended fast paths at
+// zero allocations with policy.Congestion installed: carrying the
+// feedback-control policy (and its Quiescent elision) must not cost an
+// allocation per operation.
+func TestCongestionPolicyZeroAllocs(t *testing.T) {
+	m := New(WithPolicy(policy.NewCongestion()))
+	assertZeroAllocs(t, "Mutex.Lock/congestion", func() {
+		m.Lock()
+		m.Unlock()
+	})
+
+	c := NewCounter(WithPolicy(policy.NewCongestion()))
+	assertZeroAllocs(t, "Counter.Add/congestion", func() { c.Add(1) })
+
+	rw := NewRWMutex(WithPolicy(policy.NewCongestion()))
+	assertZeroAllocs(t, "RWMutex.RLock/congestion", func() {
+		rw.RLock()
+		rw.RUnlock()
+	})
 }
 
 func TestRWMutexReadZeroAllocs(t *testing.T) {
