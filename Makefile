@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full bench bench-compare lint examples docs-check
+.PHONY: all build test test-full bench bench-compare loadtest lint examples docs-check
 
 all: lint build test
 
@@ -44,6 +44,19 @@ THRESHOLD ?= 25
 bench-compare: bench
 	@$(GO) run ./cmd/benchcmp -old bench_baseline.json -new bench_results.json -threshold $(THRESHOLD) > bench_compare.txt; \
 	st=$$?; cat bench_compare.txt; exit $$st
+
+# The CI loadtest job: the open-loop service-scale harness. Smoke the
+# loadsvc package (short mode keeps it seconds-scale), regenerate
+# bench_tail.json across all five scenarios, and gate the tail-latency
+# trajectory against the committed bench_tail_baseline.json (exit 1 when
+# a gated quantile row regressed beyond TAIL_THRESHOLD percent; /max
+# rows are reported but never gated).
+TAIL_THRESHOLD ?= 25
+loadtest:
+	$(GO) test -short ./internal/loadsvc/
+	$(GO) run ./cmd/loadgen -scenario all -duration 2s -json bench_tail.json
+	@$(GO) run ./cmd/benchcmp -tail -threshold $(TAIL_THRESHOLD) > bench_tail_compare.txt; \
+	st=$$?; cat bench_tail_compare.txt; exit $$st
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi

@@ -18,6 +18,16 @@
 // is listed in a "regressions over threshold" section and the exit code
 // is 1, so a pipeline can surface (or block on) fast-path regressions
 // while still tolerating wall-clock noise below the threshold.
+//
+// With -tail the documents are bench_tail.json tail-latency trajectories
+// from cmd/loadgen instead (flat scenario/quantile rows in microseconds);
+// -old and -new default to bench_tail_baseline.json and bench_tail.json
+// unless set explicitly. The same threshold gate applies, except rows
+// ending in "/max" are reported but never gated — a single outlier
+// dispatch is not a regression. Rows or whole sections present on only
+// one side (a host-specific GOMAXPROCS rung, a renamed scenario) are
+// reported as new/removed, never treated as an error, so baselines stay
+// usable across hosts.
 package main
 
 import (
@@ -48,6 +58,12 @@ type resultsDoc struct {
 		Name    string  `json:"name"`
 		NsPerOp float64 `json:"ns_per_op"`
 	} `json:"native,omitempty"`
+	// Tail is the bench_tail.json trajectory section (-tail mode):
+	// flat scenario/quantile rows in microseconds from cmd/loadgen.
+	Tail []struct {
+		Name string  `json:"name"`
+		Us   float64 `json:"us"`
+	} `json:"tail,omitempty"`
 }
 
 func load(path string) (*resultsDoc, error) {
@@ -66,8 +82,23 @@ func main() {
 	oldPath := flag.String("old", "bench_baseline.json", "baseline results document")
 	newPath := flag.String("new", "bench_results.json", "fresh results document")
 	threshold := flag.Float64("threshold", 0,
-		"fail (exit 1) when a native measurement regresses beyond this percentage; 0 disables the gate")
+		"fail (exit 1) when a measurement regresses beyond this percentage; 0 disables the gate")
+	tail := flag.Bool("tail", false,
+		"compare bench_tail.json tail-latency trajectories instead of bench_results.json documents")
 	flag.Parse()
+
+	if *tail {
+		// In tail mode the default document pair is the loadgen one;
+		// explicit -old/-new still win.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["old"] {
+			*oldPath = "bench_tail_baseline.json"
+		}
+		if !explicit["new"] {
+			*newPath = "bench_tail.json"
+		}
+	}
 
 	oldDoc, err := load(*oldPath)
 	if err != nil {
@@ -80,10 +111,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	compareTables(oldDoc, newDoc)
-	fmt.Println()
-	regressions := compareNative(oldDoc, newDoc, *threshold)
-	runBenchstat(oldDoc, newDoc)
+	var regressions []string
+	if *tail {
+		regressions = compareTail(oldDoc, newDoc, *threshold)
+	} else {
+		compareTables(oldDoc, newDoc)
+		fmt.Println()
+		regressions = compareNative(oldDoc, newDoc, *threshold)
+		runBenchstat(oldDoc, newDoc)
+	}
 	if *threshold > 0 {
 		fmt.Printf("\n== regressions over threshold (%.1f%%) ==\n", *threshold)
 		if len(regressions) == 0 {
@@ -95,6 +131,52 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// compareTail prints old/new/delta µs for the tail-latency trajectory
+// rows and returns the rows that regressed beyond threshold percent.
+// Rows present on only one side are reported as new/removed, never
+// errors: GOMAXPROCS sweep rungs above 4 are host-specific, and
+// scenario additions should not invalidate old baselines. Rows ending
+// in "/max" are never gated — a single outlier dispatch on a noisy host
+// is not a regression; the gated trajectory is p50/p99/p999.
+func compareTail(oldDoc, newDoc *resultsDoc, threshold float64) []string {
+	fmt.Println("== tail-latency trajectory (open-loop, µs; /max reported but not gated) ==")
+	if len(oldDoc.Tail) == 0 {
+		fmt.Println("(baseline has no tail section — all rows new, nothing to gate)")
+	}
+	if len(newDoc.Tail) == 0 {
+		fmt.Println("(fresh document has no tail section — nothing to gate)")
+	}
+	fmt.Printf("%-36s %12s %12s %9s\n", "name", "old µs", "new µs", "delta")
+	oldByName := map[string]float64{}
+	for _, r := range oldDoc.Tail {
+		oldByName[r.Name] = r.Us
+	}
+	var regressions []string
+	for _, nr := range newDoc.Tail {
+		ov, ok := oldByName[nr.Name]
+		if !ok {
+			fmt.Printf("%-36s %12s %12.1f %9s\n", nr.Name, "-", nr.Us, "new")
+			continue
+		}
+		delete(oldByName, nr.Name)
+		delta := "~"
+		if ov != 0 {
+			pct := 100 * (nr.Us - ov) / ov
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			if threshold > 0 && pct > threshold && !strings.HasSuffix(nr.Name, "/max") {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.1f -> %.1f µs (%+.1f%% > +%.1f%%)",
+					nr.Name, ov, nr.Us, pct, threshold))
+			}
+		}
+		fmt.Printf("%-36s %12.1f %12.1f %9s\n", nr.Name, ov, nr.Us, delta)
+	}
+	for _, name := range sortedKeys(oldByName) {
+		fmt.Printf("%-36s %12.1f %12s %9s\n", name, oldByName[name], "-", "removed")
+	}
+	return regressions
 }
 
 // compareTables diffs the deterministic simulator section cell-by-cell.

@@ -1,0 +1,75 @@
+package loadsvc
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// experimentsDoc locates the repository-level EXPERIMENTS.md relative to
+// this package (the same layout assumption as the experiment registry's
+// doc-sync test).
+const experimentsDoc = "../../EXPERIMENTS.md"
+
+// scenarioRow matches a table row of the load-scenario matrix whose
+// first cell is a backticked scenario name: | `read-heavy` | ... |
+var scenarioRow = regexp.MustCompile("^\\| *`([^`]+)` *\\|")
+
+// readScenarioTable parses the "## Load scenarios" section of
+// EXPERIMENTS.md and returns the scenario names its table documents, in
+// order.
+func readScenarioTable(t *testing.T) []string {
+	t.Helper()
+	f, err := os.Open(filepath.FromSlash(experimentsDoc))
+	if err != nil {
+		t.Fatalf("EXPERIMENTS.md not readable: %v", err)
+	}
+	defer f.Close()
+
+	var names []string
+	inSection := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "## ") {
+			inSection = strings.HasPrefix(line, "## Load scenarios")
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if m := scenarioRow.FindStringSubmatch(line); m != nil {
+			names = append(names, m[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestLoadScenarioTableInSync keeps EXPERIMENTS.md honest the way
+// TestExperimentIndexInSync does for the simulator matrix: every
+// scenario in the load matrix must have a row in the "## Load
+// scenarios" table, in canonical order, and every row must name a real
+// scenario.
+func TestLoadScenarioTableInSync(t *testing.T) {
+	documented := readScenarioTable(t)
+	if len(documented) == 0 {
+		t.Fatal("EXPERIMENTS.md has no '## Load scenarios' table rows")
+	}
+	registered := ScenarioNames()
+	if len(documented) != len(registered) {
+		t.Fatalf("EXPERIMENTS.md documents %d scenarios, matrix has %d:\ndoc: %v\ngot: %v",
+			len(documented), len(registered), documented, registered)
+	}
+	for i, name := range registered {
+		if documented[i] != name {
+			t.Errorf("row %d: EXPERIMENTS.md says %q, matrix says %q (order is canonical)",
+				i, documented[i], name)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package loadsvc
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// OpKind identifies one request's operation against the Service.
+type OpKind uint8
+
+const (
+	// OpGet is a deadline-bounded read of the routing table.
+	OpGet OpKind = iota
+	// OpPut is a journal append plus a single-entry table update.
+	OpPut
+	// OpRebuild is a bulk table rebuild holding the write lock long
+	// enough that concurrent reads miss their deadlines.
+	OpRebuild
+)
+
+// Req is one scheduled request in a Plan. At is the open-loop arrival
+// offset from the run's start: the driver dispatches the request at that
+// instant regardless of how far behind the service is, and latency is
+// measured from At, so queueing delay shows up in the histogram.
+type Req struct {
+	At          time.Duration
+	Kind        OpKind
+	Key         uint64
+	Val         uint64
+	Work        uint32        // synthetic service time, spin iterations
+	Deadline    time.Duration // > 0: per-request deadline (reads degrade to stale)
+	CancelAfter time.Duration // > 0: client disconnects this long after arrival
+	CancelNow   bool          // client gone before service even starts
+}
+
+// Spec names one scenario of the load matrix and its shape defaults.
+// The five specs returned by Scenarios are the harness's scenario
+// matrix; EXPERIMENTS.md's "Load scenarios" table documents them and a
+// doc-sync test keeps the two lists identical.
+type Spec struct {
+	Name        string
+	Mix         string // op mix, one line, for -list and the docs table
+	Stress      string // what the scenario is designed to expose
+	DefaultRate int    // arrivals per second when Options.Rate == 0
+	ChurnEvery  int    // > 0: worker goroutines retire after this many requests
+	Procs       []int  // non-empty: run the plan once per GOMAXPROCS setting
+}
+
+// Scenarios returns the load-scenario matrix in its canonical order.
+func Scenarios() []Spec {
+	return []Spec{
+		{
+			Name:        "read-heavy",
+			Mix:         "95% get (2ms deadline) / 5% put",
+			Stress:      "reader-path adaptivity: sharded registration and spin/park under steady load",
+			DefaultRate: 3000,
+		},
+		{
+			Name:        "write-burst",
+			Mix:         "steady 90/10 get/put; every 250ms a 40ms burst of puts + bulk rebuilds",
+			Stress:      "stale-snapshot degradation while rebuilds hold the write lock",
+			DefaultRate: 2500,
+		},
+		{
+			Name:        "cancellation-storm",
+			Mix:         "70% get with client disconnects (3% pre-cancelled) / 20% put / 10% rebuild",
+			Stress:      "LockCtx/RLockCtx cancellation racing handoffs; zero lost wakeups required",
+			DefaultRate: 2500,
+		},
+		{
+			Name:        "goroutine-churn",
+			Mix:         "read-heavy mix; each worker goroutine retires after 32 requests",
+			Stress:      "park/wake and per-P affinity under constantly fresh goroutine identities",
+			DefaultRate: 2500,
+			ChurnEvery:  32,
+		},
+		{
+			Name:        "gomaxprocs-sweep",
+			Mix:         "read-heavy mix repeated at GOMAXPROCS 1, 2, 4 (and NumCPU if larger)",
+			Stress:      "trajectory of the same workload across parallelism levels",
+			DefaultRate: 2000,
+			Procs:       sweepProcs(),
+		},
+	}
+}
+
+// ScenarioNames returns the matrix's names in canonical order.
+func ScenarioNames() []string {
+	specs := Scenarios()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// sweepProcs is the GOMAXPROCS sweep set: the fixed rungs 1, 2, 4 so
+// baselines stay row-comparable across hosts, plus the host's NumCPU
+// when it is larger (that row is host-specific; benchcmp -tail reports
+// it as new/removed rather than erroring when hosts differ).
+func sweepProcs() []int {
+	procs := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		procs = append(procs, n)
+	}
+	sort.Ints(procs)
+	return procs
+}
+
+// Options shape one scenario run. The zero value means "scenario
+// defaults": DefaultRate arrivals/sec, 2s duration, 16 workers, seed 1,
+// a 10s stranded-waiter guard, live execution.
+type Options struct {
+	Rate     int           // arrivals per second (0: Spec.DefaultRate)
+	Duration time.Duration // scheduled arrival window (0: 2s)
+	Workers  int           // concurrent worker lanes (0: 16)
+	Seed     uint64        // base seed; per-scenario seeds derive from it (0: 1)
+	Virtual  bool          // replay deterministically instead of driving the live service
+	Guard    time.Duration // stranded-waiter timeout after the last arrival (0: 10s)
+}
+
+func (o Options) withDefaults(sc Spec) Options {
+	if o.Rate == 0 {
+		o.Rate = sc.DefaultRate
+	}
+	if o.Duration == 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Workers == 0 {
+		o.Workers = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Guard == 0 {
+		o.Guard = 10 * time.Second
+	}
+	return o
+}
+
+// Plan is a fully materialized request schedule: everything about the
+// run except wall-clock execution. Plans are deterministic — BuildPlan
+// derives the scenario's RNG seed from (Options.Seed, scenario name)
+// with the experiment registry's idiom, so the same options always
+// produce byte-identical plans regardless of host or run order.
+type Plan struct {
+	Scenario   string
+	Seed       uint64 // the derived per-scenario seed
+	Rate       int
+	Duration   time.Duration
+	ChurnEvery int
+	Reqs       []Req
+}
+
+// planSeed derives the per-scenario plan seed, reusing
+// experiments.ExperimentSeed so load scenarios and simulator experiments
+// share one seed-derivation idiom.
+func planSeed(base uint64, scenario string) uint64 {
+	return experiments.ExperimentSeed(base, "loadgen/"+scenario)
+}
+
+// BuildPlan materializes sc's request schedule under o.
+func BuildPlan(sc Spec, o Options) Plan {
+	o = o.withDefaults(sc)
+	p := Plan{
+		Scenario:   sc.Name,
+		Seed:       planSeed(o.Seed, sc.Name),
+		Rate:       o.Rate,
+		Duration:   o.Duration,
+		ChurnEvery: sc.ChurnEvery,
+	}
+	rng := sim.NewRand(p.Seed)
+	step := time.Duration(uint64(time.Second) / uint64(o.Rate))
+	n := int(o.Duration / step)
+	p.Reqs = make([]Req, 0, n)
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * step
+		r := buildReq(sc.Name, at, rng)
+		r.At = at
+		p.Reqs = append(p.Reqs, r)
+	}
+	return p
+}
+
+// Per-scenario shape constants. Works are spin iterations (roughly
+// cycles); deadlines and cancel windows are wall time.
+const (
+	getWorkBase   = 200
+	getWorkSpread = 200
+	putWork       = 800
+	// rebuildWork makes a bulk rebuild hold the write lock on the order
+	// of a millisecond on commodity hardware — past the read deadlines,
+	// so reads queued behind a rebuild exercise the stale-snapshot path.
+	rebuildWork = 600000
+
+	readDeadline  = 2 * time.Millisecond
+	burstDeadline = 1 * time.Millisecond
+
+	burstPeriod = 250 * time.Millisecond
+	burstLen    = 40 * time.Millisecond
+
+	cancelFloor = 100 * time.Microsecond
+	cancelMean  = 300 * time.Microsecond
+)
+
+// buildReq draws one request for scenario name arriving at offset at.
+// All randomness comes from rng, in a fixed per-request draw order, so
+// the plan is reproducible.
+func buildReq(name string, at time.Duration, rng *sim.Rand) Req {
+	switch name {
+	case "read-heavy", "goroutine-churn", "gomaxprocs-sweep":
+		if rng.Intn(100) < 95 {
+			return getReq(rng, readDeadline)
+		}
+		return putReq(rng)
+	case "write-burst":
+		if at%burstPeriod < burstLen {
+			switch d := rng.Intn(100); {
+			case d < 40:
+				return putReq(rng)
+			case d < 45:
+				return rebuildReq(rng)
+			default:
+				return getReq(rng, burstDeadline)
+			}
+		}
+		if rng.Intn(100) < 10 {
+			return putReq(rng)
+		}
+		return getReq(rng, burstDeadline)
+	case "cancellation-storm":
+		switch d := rng.Intn(100); {
+		case d < 70:
+			r := getReq(rng, 0)
+			if rng.Intn(100) < 3 {
+				r.CancelNow = true
+			} else {
+				r.CancelAfter = cancelFloor + time.Duration(expDraw(rng)*float64(cancelMean))
+			}
+			return r
+		case d < 90:
+			return putReq(rng)
+		default:
+			return rebuildReq(rng)
+		}
+	default:
+		panic("loadsvc: unknown scenario " + name)
+	}
+}
+
+func getReq(rng *sim.Rand, deadline time.Duration) Req {
+	return Req{
+		Kind:     OpGet,
+		Key:      rng.Uint64n(TableKeys),
+		Work:     uint32(getWorkBase + rng.Intn(getWorkSpread)),
+		Deadline: deadline,
+	}
+}
+
+func putReq(rng *sim.Rand) Req {
+	return Req{
+		Kind: OpPut,
+		Key:  rng.Uint64n(TableKeys),
+		Val:  rng.Uint64(),
+		Work: putWork,
+	}
+}
+
+func rebuildReq(rng *sim.Rand) Req {
+	return Req{Kind: OpRebuild, Val: rng.Uint64(), Work: rebuildWork}
+}
+
+// expDraw samples a unit-mean exponential from rng.
+func expDraw(rng *sim.Rand) float64 {
+	u := rng.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1 - u)
+}

@@ -1,0 +1,240 @@
+// Package loadsvc is the service-scale load harness behind cmd/loadgen:
+// an in-process RPC-shaped service assembled entirely from the public
+// reactive primitives, a deterministic scenario/plan generator, and an
+// open-loop executor that drives the service at fixed arrival rates and
+// reports tail-latency quantiles.
+//
+// The service is deliberately the workload the paper's primitives are
+// for: every request bumps a hit counter (reactive.Counter), reads
+// consult a routing table under a per-request RLockCtx deadline and
+// degrade to an atomically-published stale snapshot when the deadline
+// expires (reactive.RWMutex), writes append to a commit journal under
+// Mutex.LockCtx before taking the table's write lock, and every
+// completed request folds its latency into a max-aggregating
+// reactive.FetchOp. All four primitives are named in a
+// reactivehttp.Registry, so the executor scrapes their per-scenario
+// Stats.Sub deltas through the /debug/reactive endpoint exactly the way
+// a production scraper would.
+//
+// The executor is open-loop (arrivals are scheduled by the plan, not by
+// request completion), so queueing delay under overload is measured
+// rather than absorbed — the methodological difference from the
+// closed-loop ns/op benchmarks is discussed in DESIGN.md §7.
+package loadsvc
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"repro/reactive"
+	"repro/reactive/reactivehttp"
+)
+
+// TableKeys is the routing-table key space. Small enough that snapshot
+// publication is cheap, large enough that per-key contention is rare —
+// contention in the harness comes from the lock protocols, not from one
+// hot key.
+const TableKeys = 256
+
+// snapshotEvery is the write-path snapshot publication cadence: every
+// snapshotEvery-th Put republishes the stale-read snapshot (Rebuild
+// always republishes). The fallback data a degraded read serves is
+// therefore at most snapshotEvery writes old.
+const snapshotEvery = 16
+
+// Service is the in-process RPC-shaped service the load harness drives.
+// All four public reactive primitives are load-bearing: hits on every
+// request, router on every read and write, journal on every write, peak
+// on every completed request.
+type Service struct {
+	router  *reactive.RWMutex // guards table; readers carry deadlines
+	journal *reactive.Mutex   // serializes the commit journal (write path)
+	hits    *reactive.Counter // total requests accepted
+	peak    *reactive.FetchOp // max-aggregated request latency (ns)
+
+	table map[uint64]uint64                 // guarded by router
+	puts  int                               // guarded by router: snapshot cadence
+	snap  atomic.Pointer[map[uint64]uint64] // last published immutable snapshot
+
+	logLen int64 // guarded by journal: committed journal entries
+
+	reg *reactivehttp.Registry
+}
+
+// NewService builds a Service with a fully populated routing table, a
+// published snapshot, and all four primitives registered for telemetry
+// under the names "router", "journal", "hits", and "peak".
+func NewService() *Service {
+	s := &Service{
+		router:  reactive.NewRWMutex(),
+		journal: reactive.New(),
+		hits:    reactive.NewCounter(),
+		peak: reactive.NewFetchOp(func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		}, math.MinInt64),
+		table: make(map[uint64]uint64, TableKeys),
+		reg:   &reactivehttp.Registry{},
+	}
+	for k := uint64(0); k < TableKeys; k++ {
+		s.table[k] = k * k
+	}
+	s.publish()
+	s.reg.Register("router", s.router)
+	s.reg.Register("journal", s.journal)
+	s.reg.Register("hits", s.hits)
+	s.reg.Register("peak", s.peak)
+	return s
+}
+
+// Registry exposes the service's named primitives for telemetry export.
+func (s *Service) Registry() *reactivehttp.Registry { return s.reg }
+
+// publish copies the table into a fresh immutable snapshot for the
+// degraded-read path. Callers must hold the write lock (or, in
+// NewService, have exclusive access by construction).
+func (s *Service) publish() {
+	c := make(map[uint64]uint64, len(s.table))
+	for k, v := range s.table {
+		c[k] = v
+	}
+	s.snap.Store(&c)
+}
+
+// GetResult is a read's outcome: the routed value and whether it was
+// served from the live table or the stale snapshot.
+type GetResult struct {
+	Val   uint64
+	Stale bool
+}
+
+// Get routes one read. The read lock is taken with the request's
+// context; a deadline expiry degrades to the last published snapshot
+// (stale routing beats no routing), while an outright cancellation —
+// the client has gone away — aborts the request with ctx.Err(). work
+// models the request's service time in spin iterations, spent while
+// the routing entry is held so read-side critical sections have
+// realistic width.
+func (s *Service) Get(ctx context.Context, key uint64, work uint32) (GetResult, error) {
+	s.hits.Add(1)
+	if err := s.router.RLockCtx(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			v := (*s.snap.Load())[key%TableKeys]
+			spinWork(work)
+			return GetResult{Val: v, Stale: true}, nil
+		}
+		return GetResult{}, err
+	}
+	v := s.table[key%TableKeys]
+	spinWork(work)
+	s.router.RUnlock()
+	return GetResult{Val: v}, nil
+}
+
+// Put routes one write: append to the commit journal under the journal
+// mutex (the Mutex.LockCtx write path), then install the new routing
+// entry under the table's write lock. Either acquisition gives up with
+// ctx.Err() when the request's context ends first.
+func (s *Service) Put(ctx context.Context, key, val uint64, work uint32) error {
+	s.hits.Add(1)
+	if err := s.journal.LockCtx(ctx); err != nil {
+		return err
+	}
+	s.logLen++
+	spinWork(work / 2)
+	s.journal.Unlock()
+
+	if err := s.router.LockCtx(ctx); err != nil {
+		return err
+	}
+	s.table[key%TableKeys] = val
+	spinWork(work)
+	s.puts++
+	if s.puts%snapshotEvery == 0 {
+		s.publish()
+	}
+	s.router.Unlock()
+	return nil
+}
+
+// Rebuild recomputes the whole routing table under the write lock — the
+// slow bulk update that makes concurrent reads blow their deadlines and
+// exercise the stale-snapshot path — then republishes the snapshot.
+func (s *Service) Rebuild(ctx context.Context, gen uint64, work uint32) error {
+	s.hits.Add(1)
+	if err := s.router.LockCtx(ctx); err != nil {
+		return err
+	}
+	for k := uint64(0); k < TableKeys; k++ {
+		s.table[k] = k*k + gen
+	}
+	spinWorkYielding(work)
+	s.publish()
+	s.router.Unlock()
+	return nil
+}
+
+// RecordLatency folds one completed request's latency into the
+// max-aggregating FetchOp — the aggregation path every request's
+// completion contends on.
+func (s *Service) RecordLatency(ns int64) { s.peak.Apply(ns) }
+
+// PeakLatency reconciles and returns the maximum latency recorded so
+// far, or 0 when nothing completed yet.
+func (s *Service) PeakLatency() int64 {
+	v := s.peak.Value()
+	if v == math.MinInt64 {
+		return 0
+	}
+	return v
+}
+
+// Hits reconciles and returns the total requests accepted.
+func (s *Service) Hits() int64 { return s.hits.Load() }
+
+// JournalLen returns the committed journal length (test hook; takes the
+// journal mutex).
+func (s *Service) JournalLen() int64 {
+	s.journal.Lock()
+	n := s.logLen
+	s.journal.Unlock()
+	return n
+}
+
+// spinSink defeats dead-code elimination of spinWork's loop.
+var spinSink atomic.Uint64
+
+// spinWork burns roughly iters cycles of CPU as synthetic service time.
+// A xorshift step per iteration keeps the loop data-dependent so the
+// compiler cannot collapse it.
+func spinWork(iters uint32) {
+	x := uint64(iters) | 1
+	for i := uint32(0); i < iters; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	spinSink.Store(x)
+}
+
+// spinWorkYielding burns iters cycles in scheduler-cooperative chunks —
+// the shape of a bulk rebuild, which allocates and pages rather than
+// monopolizing a P. Yielding matters on small-GOMAXPROCS hosts: a
+// non-yielding multi-millisecond spin would freeze every other
+// goroutine out of even *starting* its deadline-bounded acquisition, and
+// the degraded-read path would go unexercised exactly where it is most
+// interesting.
+func spinWorkYielding(iters uint32) {
+	const chunk = 20000
+	for iters > chunk {
+		spinWork(chunk)
+		runtime.Gosched()
+		iters -= chunk
+	}
+	spinWork(iters)
+}

@@ -1,0 +1,58 @@
+package loadsvc
+
+import "repro/internal/sim"
+
+// Virtual-replay latency model: a fixed dispatch overhead, a
+// per-spin-iteration cost, and an exponential queueing term. The model
+// is not calibrated to any host — its only job is to be deterministic
+// and to spread mass across histogram buckets the way real latencies do,
+// so the replay executor exercises exactly the classification and
+// histogram plumbing the live executor uses.
+const (
+	virtBaseNs    = 1500
+	virtWorkNs    = 3 // per spin iteration
+	virtQueueMean = 20000.0
+)
+
+// runVirtual replays sc's plan without wall clock, service, or
+// goroutines: each request is assigned a synthetic latency drawn from a
+// seed-derived RNG and classified against its own deadline and cancel
+// window. Two virtual runs with the same Options produce byte-identical
+// reports — request counts, class tallies, and histogram buckets — which
+// is what the determinism tests pin. Primitive telemetry is absent
+// (there is no service to scrape).
+func runVirtual(sc Spec, o Options) *Report {
+	plan := BuildPlan(sc, o)
+	rng := sim.NewRand(planSeed(o.Seed, "virtual/"+sc.Name))
+
+	rep := newReport(sc.Name, o)
+	rep.Seed = plan.Seed
+	t := &tally{}
+	t.spawned = int64(o.Workers)
+	var peak int64
+	for _, r := range plan.Reqs {
+		latNs := int64(virtBaseNs + virtWorkNs*int64(r.Work) + int64(expDraw(rng)*virtQueueMean))
+		class := classFresh
+		switch {
+		case r.CancelNow:
+			class = classCancelled
+		case r.CancelAfter > 0 && latNs > r.CancelAfter.Nanoseconds():
+			class = classCancelled
+		case r.Deadline > 0 && latNs > r.Deadline.Nanoseconds():
+			if r.Kind == OpGet {
+				class = classStale // deadline expiry degrades reads
+			} else {
+				class = classCancelled // writes just give up
+			}
+		}
+		t.record(class, latNs)
+		rep.HitCount++ // every accepted request; mirrors Service.Hits
+		if (class == classFresh || class == classStale) && latNs > peak {
+			peak = latNs
+		}
+	}
+	rep.absorb(t)
+	rep.PeakLatencyNs = peak
+	rep.finish()
+	return rep
+}

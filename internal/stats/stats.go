@@ -97,6 +97,71 @@ func (w *WaitProfile) Observe(wait uint64) {
 	w.Sample.Add(float64(wait))
 }
 
+// Quantile estimates the p-th quantile (0 ≤ p ≤ 1) of the observed
+// waits from the log₂ bucket counts alone, interpolating linearly inside
+// the bucket the rank falls in. Bucket 0 covers [0,2); bucket i ≥ 1
+// covers [2^i, 2^(i+1)). The estimate is therefore exact for
+// distributions uniform within each bucket and never off by more than
+// one bucket's width otherwise — the resolution tail-latency trending
+// needs without retaining raw samples. p outside [0,1] is clamped; an
+// empty profile returns 0.
+//
+// Unlike Sample.Percentile (nearest rank over the retained
+// observations), Quantile consumes only the fixed-size histogram, so it
+// is the form that merges across workers and serializes: summing two
+// profiles' Buckets field-by-field yields the merged distribution's
+// quantiles directly.
+func (w *WaitProfile) Quantile(p float64) float64 {
+	var total uint64
+	for _, c := range w.Buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total) // continuous rank in [0, total]
+	var cum uint64
+	last := 0
+	for i, c := range w.Buckets {
+		if c > 0 {
+			last = i
+		}
+	}
+	for i, c := range w.Buckets {
+		if c == 0 {
+			continue
+		}
+		if rank <= float64(cum+c) || i == last {
+			lo, hi := bucketBounds(i)
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return 0 // unreachable: total > 0 guarantees a non-empty bucket
+}
+
+// bucketBounds returns bucket i's value range [lo, hi) as Observe bins
+// it: bucket 0 holds waits 0 and 1, bucket i ≥ 1 holds [2^i, 2^(i+1)).
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 2
+	}
+	return float64(uint64(1) << uint(i)), float64(uint64(1) << uint(i+1))
+}
+
 // FracBelow returns the fraction of waits strictly below t cycles.
 func (w *WaitProfile) FracBelow(t float64) float64 {
 	if w.Sample.N() == 0 {

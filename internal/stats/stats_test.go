@@ -110,3 +110,107 @@ func TestStd(t *testing.T) {
 		t.Fatalf("std %f", s.Std())
 	}
 }
+
+func TestQuantileEmptyAndClamp(t *testing.T) {
+	var w WaitProfile
+	if q := w.Quantile(0.5); q != 0 {
+		t.Fatalf("empty profile quantile = %f, want 0", q)
+	}
+	w.Observe(100) // bucket 6: [64,128)
+	if q := w.Quantile(-1); q != 64 {
+		t.Fatalf("p<0 should clamp to the bucket floor: got %f, want 64", q)
+	}
+	if q := w.Quantile(2); q != 128 {
+		t.Fatalf("p>1 should clamp to the bucket ceiling: got %f, want 128", q)
+	}
+}
+
+// TestQuantilePointMass pins the interpolation formula on a
+// single-bucket distribution: n observations of one value all land in
+// one bucket, so Quantile(p) must walk linearly across that bucket.
+func TestQuantilePointMass(t *testing.T) {
+	var w WaitProfile
+	for i := 0; i < 1000; i++ {
+		w.Observe(100) // bucket 6: [64, 128)
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0.5, 64 + 0.5*64},   // 96
+		{0.99, 64 + 0.99*64}, // 127.36
+		{0.999, 64 + 0.999*64},
+	} {
+		if got := w.Quantile(tc.p); got != tc.want {
+			t.Errorf("Quantile(%g) = %f, want %f", tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileUniform checks p50/p99/p999 against the closed form for a
+// discrete uniform distribution: within each log bucket a uniform
+// distribution is exactly linear, so interpolation should land within
+// one unit of the true quantile.
+func TestQuantileUniform(t *testing.T) {
+	var w WaitProfile
+	for v := uint64(0); v < 1024; v++ {
+		w.Observe(v)
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0.5, 512},
+		{0.99, 1013.76},
+		{0.999, 1022.976},
+	} {
+		got := w.Quantile(tc.p)
+		if diff := got - tc.want; diff < -1 || diff > 1 {
+			t.Errorf("Quantile(%g) = %f, want %f ±1", tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileBimodal pins tail behavior on a two-mass distribution: 90%
+// fast requests, 10% slow ones — p50 must sit in the fast bucket, p99
+// and p999 in the slow one, and both must agree with the nearest-rank
+// percentile of the raw sample to within the slow bucket's width.
+func TestQuantileBimodal(t *testing.T) {
+	var w WaitProfile
+	for i := 0; i < 900; i++ {
+		w.Observe(10) // bucket 3: [8, 16)
+	}
+	for i := 0; i < 100; i++ {
+		w.Observe(100000) // bucket 16: [65536, 131072)
+	}
+	if got, want := w.Quantile(0.5), 8+500.0/900*8; got != want {
+		t.Errorf("p50 = %f, want %f", got, want)
+	}
+	for _, p := range []float64{0.99, 0.999} {
+		got := w.Quantile(p)
+		if got < 65536 || got >= 131072 {
+			t.Errorf("Quantile(%g) = %f, want within the slow bucket [65536, 131072)", p, got)
+		}
+		exact := w.Sample.Percentile(p * 100)
+		if diff := got - exact; diff < -65536 || diff > 65536 {
+			t.Errorf("Quantile(%g) = %f, more than one bucket width from exact %f", p, got, exact)
+		}
+	}
+}
+
+// TestQuantileMergesAcrossProfiles checks the property the load harness
+// relies on: summing per-worker bucket arrays yields the merged
+// distribution's quantiles.
+func TestQuantileMergesAcrossProfiles(t *testing.T) {
+	var a, b, merged WaitProfile
+	for i := 0; i < 500; i++ {
+		a.Observe(10)
+		b.Observe(100000)
+		merged.Observe(10)
+		merged.Observe(100000)
+	}
+	var sum WaitProfile
+	for i := range sum.Buckets {
+		sum.Buckets[i] = a.Buckets[i] + b.Buckets[i]
+	}
+	for _, p := range []float64{0.25, 0.5, 0.9, 0.99} {
+		if sum.Quantile(p) != merged.Quantile(p) {
+			t.Errorf("Quantile(%g): summed buckets %f != merged profile %f",
+				p, sum.Quantile(p), merged.Quantile(p))
+		}
+	}
+}
