@@ -18,7 +18,7 @@ test:
 	$(GO) test -race -short ./...
 	$(GO) build -tags reactive_noprocpin ./...
 	$(GO) test -tags reactive_noprocpin -short ./reactive/...
-	$(GO) test -tags reactive_noprocpin -race -short -run 'Ctx|Cancel|Handoff|Stress' ./reactive/...
+	$(GO) test -tags reactive_noprocpin -race -short -run 'Ctx|Cancel|Handoff|Stress|Epoch|GOMAXPROCS' ./reactive/...
 
 # The CI examples job: every example vets clean and runs to completion.
 examples:
@@ -47,7 +47,7 @@ bench-compare: bench
 
 # The CI loadtest job: the open-loop service-scale harness. Smoke the
 # loadsvc package (short mode keeps it seconds-scale), regenerate
-# bench_tail.json across all five scenarios, and gate the tail-latency
+# bench_tail.json across all six scenarios, and gate the tail-latency
 # trajectory against the committed bench_tail_baseline.json (exit 1 when
 # a gated quantile row regressed beyond TAIL_THRESHOLD percent; /max
 # rows are reported but never gated).

@@ -277,7 +277,7 @@ func BenchmarkTable4_6_HalfB(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §10) ---
+// --- Ablations (DESIGN.md §11) ---
 
 func BenchmarkAblationOptimisticTAS(b *testing.B) {
 	for _, proto := range []string{"reactive", "reactive-nonoptimistic"} {
@@ -689,6 +689,35 @@ func BenchmarkNativeRWMutex(b *testing.B) {
 	})
 	b.Run("read-sharded-forced/reactive", func(b *testing.B) {
 		rw := reactive.NewRWMutex(reactive.WithInitialMode(reactive.ModeSharded))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				rw.RLock()
+				rw.RUnlock()
+			}
+		})
+		readerMode(b, rw)
+	})
+	// The epoch registration fast path: RLock publishes only a per-P
+	// stamp and loads one shared gate word it never stores to, so this
+	// row prices a read with zero shared-cacheline writes. Reader-only
+	// traffic generates no grace periods, so the row is mode-stable on
+	// any host.
+	b.Run("read-epoch-forced/reactive", func(b *testing.B) {
+		rw := reactive.NewRWMutex(reactive.WithInitialReaderMode(reactive.ModeEpoch))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				rw.RLock()
+				rw.RUnlock()
+			}
+		})
+		readerMode(b, rw)
+	})
+	// Congestion-policy variant of the forced epoch row: WithPolicy
+	// governs only the reader *wait* engine, so the epoch read fast
+	// path must not pay for the installed feedback-control policy.
+	b.Run("read-epoch-forced-congestion/reactive", func(b *testing.B) {
+		rw := reactive.NewRWMutex(reactive.WithInitialReaderMode(reactive.ModeEpoch),
+			reactive.WithPolicy(policy.NewCongestion()))
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
 				rw.RLock()

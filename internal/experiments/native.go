@@ -230,6 +230,27 @@ func NativePrimitives() []NativeResult {
 			srrw.RUnlock()
 		}
 	}))
+	// Epoch-forced rows: the third registration protocol, whose read
+	// side publishes only a per-P epoch stamp and *loads* one shared
+	// gate word without ever storing to shared state. Read-only traffic
+	// generates no grace periods, so the mode is stable mid-measurement
+	// on any host; the congestion variant swaps the streak detection for
+	// the feedback-control policy as the other -congestion rows do.
+	erw := reactive.NewRWMutex(reactive.WithInitialReaderMode(reactive.ModeEpoch))
+	out = append(out, measureNative("rwmutex/read-epoch-forced/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			erw.RLock()
+			erw.RUnlock()
+		}
+	}))
+	erwc := reactive.NewRWMutex(reactive.WithInitialReaderMode(reactive.ModeEpoch),
+		reactive.WithPolicy(policy.NewCongestion()))
+	out = append(out, measureNative("rwmutex/read-epoch-forced-congestion/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			erwc.RLock()
+			erwc.RUnlock()
+		}
+	}))
 	// Read-heavy parallel pressure with occasional writers: the regime
 	// RWMutex's sharded reader registration targets (parallel RLocks
 	// that would otherwise serialize on one centralized cache line,

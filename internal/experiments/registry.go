@@ -267,6 +267,12 @@ var Default = func() *Registry {
 		Run:    NativeRWReaderTrace,
 	})
 	r.Register(Spec{
+		Name: "native-rwmutex-epoch-trace", Figure: "Extension (modal engine)", Tool: ToolReactsim,
+		Title:  "Extension: native RWMutex 3-mode reader-registration chain over a contention trace (centralized ↔ sharded slots ↔ epoch stamps)",
+		Groups: []string{"native"},
+		Run:    NativeRWReaderEpochTrace,
+	})
+	r.Register(Spec{
 		Name: "native-congestion-trace", Figure: "Extension (congestion policy)", Tool: ToolReactsim,
 		Title:  "Extension: congestion-control policy (AIMD window, sRTT estimator) on the native fetch-op modal engine",
 		Groups: []string{"native", "congestion"},

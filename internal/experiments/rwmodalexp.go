@@ -18,12 +18,24 @@ import (
 )
 
 // Native RWMutex reader-registration engine mode indices
-// (reactive.RWReaderTable's contract: index i is the public mode
-// reactive.ModeCAS + i).
+// (reactive.RWReaderTable's contract: indices 0 and 1 are the public
+// modes reactive.ModeCAS + i; index 2 is the public reactive.ModeEpoch).
 const (
 	rrCentral modal.Mode = 0
 	rrSharded modal.Mode = 1
+	rrEpoch   modal.Mode = 2
 )
+
+// rwModeName renders a reader-registration engine index as its public
+// mode name. The fetch-op modeName helper's ModeCAS+i arithmetic would
+// map index 2 to "combining"; the reader chain's third protocol is
+// ModeEpoch.
+func rwModeName(m modal.Mode) string {
+	if m == rrEpoch {
+		return reactive.ModeEpoch.String()
+	}
+	return (reactive.ModeCAS + reactive.Mode(m)).String()
+}
 
 // stepRWReaderEngine feeds the engine one synthetic detection event
 // drawn from contention level p, emulating RWMutex's registration
@@ -83,6 +95,93 @@ func NativeRWReaderTrace(sz Sizes) *stats.Table {
 		}
 		t.AddRow(ph.name, fmt.Sprintf("%.2f", ph.p), modeName(e.Mode()),
 			pct(rrCentral), pct(rrSharded),
+			fmt.Sprintf("%d", e.Switches()-before))
+	}
+	return t
+}
+
+// stepRWReaderEpochEngine feeds the engine one synthetic detection
+// event drawn from contention level p, emulating the full 3-mode
+// registration detection wiring (see RWMutex.drainReaders): in
+// centralized mode, p is the probability a reader loses the
+// registration CAS (vote toward sharded slots); in sharded mode, p is
+// the probability a writer's drain finds readers still active (a busy
+// drain votes toward epoch stamps and confirms sharded over the
+// centralized word), and 1-p the probability it finds the lock quiet (a
+// quiet drain votes toward the centralized word and confirms sharded
+// over epoch); in epoch mode, 1-p is the probability a grace period
+// completes quietly (vote back toward sharded slots), p that active
+// stamps confirm the epoch protocol. Streak limits are the package
+// defaults, as in the primitive: SpinFailLimit on up-edges, EmptyLimit
+// on down-edges.
+func stepRWReaderEpochEngine(e *modal.Engine, t *modal.Table, rng *rand.Rand, p float64) {
+	const (
+		failLimit  = reactive.DefaultSpinFailLimit
+		emptyLimit = reactive.DefaultEmptyLimit
+	)
+	u := rng.Float64()
+	switch e.Mode() {
+	case rrCentral:
+		if u < p {
+			if e.Vote(t, rrCentral, rrSharded, failLimit) {
+				e.TryCommit(t, rrCentral, rrSharded)
+			}
+		} else {
+			e.Good(t, rrCentral, rrSharded)
+		}
+	case rrSharded:
+		if u < p {
+			e.Good(t, rrSharded, rrCentral)
+			if e.Vote(t, rrSharded, rrEpoch, failLimit) {
+				e.TryCommit(t, rrSharded, rrEpoch)
+			}
+		} else {
+			e.Good(t, rrSharded, rrEpoch)
+			if e.Vote(t, rrSharded, rrCentral, emptyLimit) {
+				e.TryCommit(t, rrSharded, rrCentral)
+			}
+		}
+	default: // rrEpoch
+		if u >= p {
+			if e.Vote(t, rrEpoch, rrSharded, emptyLimit) {
+				e.TryCommit(t, rrEpoch, rrSharded)
+			}
+		} else {
+			e.Good(t, rrEpoch, rrSharded)
+		}
+	}
+}
+
+// NativeRWReaderEpochTrace tabulates the full 3-mode
+// reader-registration chain's protocol selection across the shared
+// contention trace, one row per phase. Where NativeRWReaderTrace stops
+// at the sharded slots, this trace drives the epoch edge too: read
+// saturation that keeps writer drains busy pushes the engine through
+// sharded slots into epoch stamps, and sustained quiet grace periods
+// walk it back down the chain — the no-shortcut-edge contract means
+// the engine always passes through sharded on the way between the
+// centralized word and epoch stamps.
+func NativeRWReaderEpochTrace(sz Sizes) *stats.Table {
+	tab := reactive.RWReaderTable()
+	var e modal.Engine
+	rng := rand.New(rand.NewSource(int64(sz.Seed)))
+	t := &stats.Table{Header: []string{"phase", "contention", "end-mode", "%cas", "%sharded", "%epoch", "switches"}}
+	for _, ph := range modalPhases(sz) {
+		var residency [3]int
+		before := e.Switches()
+		for i := 0; i < ph.steps; i++ {
+			stepRWReaderEpochEngine(&e, tab, rng, ph.p)
+			residency[e.Mode()]++
+		}
+		total := residency[0] + residency[1] + residency[2]
+		pct := func(m modal.Mode) string {
+			if total == 0 {
+				return "0.0"
+			}
+			return fmt.Sprintf("%.1f", 100*float64(residency[m])/float64(total))
+		}
+		t.AddRow(ph.name, fmt.Sprintf("%.2f", ph.p), rwModeName(e.Mode()),
+			pct(rrCentral), pct(rrSharded), pct(rrEpoch),
 			fmt.Sprintf("%d", e.Switches()-before))
 	}
 	return t

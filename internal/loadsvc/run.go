@@ -105,7 +105,7 @@ func runSweep(sc Spec, o Options) (*Report, error) {
 // before and after the run.
 func runLive(sc Spec, o Options) (*Report, error) {
 	plan := BuildPlan(sc, o)
-	svc := NewService()
+	svc := NewServiceFor(sc)
 
 	mux := http.NewServeMux()
 	reactivehttp.Handle(mux, svc.Registry())

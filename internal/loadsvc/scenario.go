@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/reactive"
 )
 
 // OpKind identifies one request's operation against the Service.
@@ -39,16 +40,17 @@ type Req struct {
 }
 
 // Spec names one scenario of the load matrix and its shape defaults.
-// The five specs returned by Scenarios are the harness's scenario
+// The six specs returned by Scenarios are the harness's scenario
 // matrix; EXPERIMENTS.md's "Load scenarios" table documents them and a
 // doc-sync test keeps the two lists identical.
 type Spec struct {
 	Name        string
-	Mix         string // op mix, one line, for -list and the docs table
-	Stress      string // what the scenario is designed to expose
-	DefaultRate int    // arrivals per second when Options.Rate == 0
-	ChurnEvery  int    // > 0: worker goroutines retire after this many requests
-	Procs       []int  // non-empty: run the plan once per GOMAXPROCS setting
+	Mix         string        // op mix, one line, for -list and the docs table
+	Stress      string        // what the scenario is designed to expose
+	DefaultRate int           // arrivals per second when Options.Rate == 0
+	ChurnEvery  int           // > 0: worker goroutines retire after this many requests
+	Procs       []int         // non-empty: run the plan once per GOMAXPROCS setting
+	RouterMode  reactive.Mode // nonzero: force the router's initial reader-registration mode
 }
 
 // Scenarios returns the load-scenario matrix in its canonical order.
@@ -59,6 +61,13 @@ func Scenarios() []Spec {
 			Mix:         "95% get (2ms deadline) / 5% put",
 			Stress:      "reader-path adaptivity: sharded registration and spin/park under steady load",
 			DefaultRate: 3000,
+		},
+		{
+			Name:        "read-heavy-epoch",
+			Mix:         "95% get (2ms deadline) / 5% put; router forced to epoch registration",
+			Stress:      "epoch-stamp read path and writer grace periods under steady load",
+			DefaultRate: 3000,
+			RouterMode:  reactive.ModeEpoch,
 		},
 		{
 			Name:        "write-burst",
@@ -223,7 +232,7 @@ const (
 // the plan is reproducible.
 func buildReq(name string, at time.Duration, rng *sim.Rand) Req {
 	switch name {
-	case "read-heavy", "goroutine-churn", "gomaxprocs-sweep":
+	case "read-heavy", "read-heavy-epoch", "goroutine-churn", "gomaxprocs-sweep":
 		if rng.Intn(100) < 95 {
 			return getReq(rng, readDeadline)
 		}

@@ -67,9 +67,21 @@ type Service struct {
 // NewService builds a Service with a fully populated routing table, a
 // published snapshot, and all four primitives registered for telemetry
 // under the names "router", "journal", "hits", and "peak".
-func NewService() *Service {
+func NewService() *Service { return NewServiceFor(Spec{}) }
+
+// NewServiceFor builds a Service shaped by scenario sc: a nonzero
+// Spec.RouterMode starts the router's reader-registration protocol in
+// that mode (the epoch scenario forces ModeEpoch so the harness
+// measures the epoch read path regardless of whether the host's
+// parallelism would promote it). The router stays fully adaptive
+// afterward — the forcing is an initial condition, not a pin.
+func NewServiceFor(sc Spec) *Service {
+	var ropts []reactive.Option
+	if sc.RouterMode != 0 {
+		ropts = append(ropts, reactive.WithInitialReaderMode(sc.RouterMode))
+	}
 	s := &Service{
-		router:  reactive.NewRWMutex(),
+		router:  reactive.NewRWMutex(ropts...),
 		journal: reactive.New(),
 		hits:    reactive.NewCounter(),
 		peak: reactive.NewFetchOp(func(a, b int64) int64 {

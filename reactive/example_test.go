@@ -155,7 +155,13 @@ func ExampleStats_Sub() {
 }
 
 // ExampleRWMutex shows the adaptive reader/writer lock: readers spin when
-// writer holds are short and park when they are long.
+// writer holds are short and park when they are long. Orthogonally,
+// reader *registration* adapts across three protocols (Stats().Readers):
+// a centralized CAS word when readers are few, BRAVO-style sharded per-P
+// slots under read contention, and per-P epoch stamps under sustained
+// read saturation — where a reader writes no shared cache line at all
+// and writers absorb the cost as a grace-period sweep. Detection walks
+// the chain automatically; WithInitialReaderMode pins a stage directly.
 func ExampleRWMutex() {
 	rw := reactive.NewRWMutex(reactive.WithPollIters(32))
 	config := map[string]string{"mode": "fast"}

@@ -52,6 +52,21 @@ type Cell struct {
 	_ [CacheLineSize - 8]byte
 }
 
+// EpochCell is one per-P epoch-reader stamp: an online-delta count and
+// the last global grace epoch a reader on this cell observed, padded
+// out to one coherence granule so adjacent cells never false-share.
+// Like Cell.N, Cnt holds deltas, not occupancies — a reader may
+// deposit its +1 on one cell and its -1 on another after migrating —
+// so only the sum across cells is meaningful. Seen is telemetry for
+// the grace-period protocol: writers advance a global epoch and sweep
+// the cells, and Seen records how far each cell's readers have
+// observed that advance.
+type EpochCell struct {
+	Cnt  atomic.Int64
+	Seen atomic.Uint64
+	_    [CacheLineSize - 16]byte
+}
+
 // Shards returns the shard-array size the current process warrants: the
 // next power of two ≥ GOMAXPROCS(0), and at least 2. Masking a Pin
 // index by (Shards()-1) is collision-free while GOMAXPROCS does not

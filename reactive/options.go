@@ -13,6 +13,8 @@ type config struct {
 	pol           policy.Policy
 	initMode      Mode
 	initModeSet   bool
+	initRMode     Mode
+	initRModeSet  bool
 }
 
 // An Option configures an adaptive primitive built by New, NewCounter,
@@ -92,15 +94,36 @@ func WithPolicy(p policy.Policy) Option {
 // Valid modes per constructor: New accepts ModeSpin and ModePark;
 // NewCounter and NewFetchOp accept ModeCAS, ModeSharded, and
 // ModeCombining; NewRWMutex accepts ModeSpin/ModePark (the reader wait
-// protocol) or ModeCAS/ModeSharded (the reader registration protocol) —
-// the two mode spaces are disjoint, so one option configures either
-// engine. The constructor panics on a mode the primitive has no
-// protocol for.
+// protocol) or ModeCAS/ModeSharded/ModeEpoch (the reader registration
+// protocol) — the two mode spaces are disjoint, so one option
+// configures either engine. The constructor panics on a mode the
+// primitive has no protocol for.
 func WithInitialMode(m Mode) Option {
-	if m > ModeCombining {
+	if m > ModeEpoch {
 		panic("reactive: WithInitialMode requires a valid Mode")
 	}
 	return func(c *config) { c.initMode = m; c.initModeSet = true }
+}
+
+// WithInitialReaderMode starts NewRWMutex's reader registration
+// protocol in mode m — ModeCAS (the centralized word), ModeSharded
+// (per-P slots), or ModeEpoch (per-P epoch stamps) — walking the
+// registration chain at construction time, exactly as WithInitialMode
+// does for the primary engine. Unlike WithInitialMode it addresses the
+// registration engine specifically, so it composes with a
+// WithInitialMode(ModeSpin/ModePark) wait-protocol choice, and it lets
+// benchmarks and small-GOMAXPROCS hosts pin any of the three reader
+// protocols regardless of whether the host's parallelism would trigger
+// detection. The lock stays fully adaptive afterward. Panics unless m
+// is one of the three registration modes; constructors other than
+// NewRWMutex accept and ignore the option.
+func WithInitialReaderMode(m Mode) Option {
+	switch m {
+	case ModeCAS, ModeSharded, ModeEpoch:
+	default:
+		panic("reactive: WithInitialReaderMode requires ModeCAS, ModeSharded, or ModeEpoch")
+	}
+	return func(c *config) { c.initRMode = m; c.initRModeSet = true }
 }
 
 // apply folds opts into a config.

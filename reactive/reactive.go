@@ -88,8 +88,8 @@ type Mode uint32
 // Protocol modes. Mutex and RWMutex alternate between ModeSpin and
 // ModePark; Counter and FetchOp move along the chain ModeCAS ↔
 // ModeSharded ↔ ModeCombining; RWMutex's reader registration protocol
-// (Stats().Readers) alternates between ModeCAS (centralized word) and
-// ModeSharded (per-P slots).
+// (Stats().Readers) moves along its own chain ModeCAS (centralized
+// word) ↔ ModeSharded (per-P slots) ↔ ModeEpoch (per-P epoch stamps).
 const (
 	// ModeSpin is the test-and-test-and-set analogue: waiters spin with
 	// randomized exponential backoff; unlock releases the lock word for
@@ -115,6 +115,16 @@ const (
 	// word is touched once per batch instead of once per operation. Best
 	// when heavy updates and frequent reads coincide.
 	ModeCombining
+	// ModeEpoch is RWMutex's most scalable reader registration protocol,
+	// the userspace-RCU read-side analogue: RLock publishes only a local
+	// online stamp (a count plus the global grace epoch it observed) in
+	// its per-P cell and RUnlock clears it — neither touches a shared
+	// word, so contended reads stop generating coherence traffic
+	// entirely. Writers advance the global grace epoch and sweep the
+	// cells until every online reader has observed the advance or gone
+	// offline. Best when reads vastly outnumber writes; writers pay a
+	// full grace period.
+	ModeEpoch
 )
 
 // String names the mode.
@@ -128,6 +138,8 @@ func (m Mode) String() string {
 		return "sharded"
 	case ModeCombining:
 		return "combining"
+	case ModeEpoch:
+		return "epoch"
 	}
 	return "spin"
 }
@@ -252,7 +264,7 @@ func (c *config) pollBudget() int32 {
 //
 // A Stats value marshals to JSON with lower-case field names and the
 // Mode rendered as its protocol name ("spin", "park", "cas", "sharded",
-// "combining"); Sub converts two snapshots into a delta whose monotonic
+// "combining", "epoch"); Sub converts two snapshots into a delta whose monotonic
 // counters can be divided by the polling interval to obtain rates (see
 // DESIGN.md §6 and the reactive/reactivehttp package).
 type Stats struct {
@@ -281,15 +293,27 @@ type Stats struct {
 // how they wait when one is.
 type ReaderStats struct {
 	// Mode is ModeCAS while readers register on the centralized word,
-	// ModeSharded while they register in per-P slots. A gauge under Sub.
+	// ModeSharded while they register in per-P slots, ModeEpoch while
+	// they publish per-P epoch stamps. A gauge under Sub.
 	Mode Mode `json:"mode"`
 	// Switches counts committed registration-protocol changes.
 	// Monotonic: Sub returns the difference.
 	Switches uint64 `json:"switches"`
-	// Shards is the per-P slot count once the slot array exists, 0 while
-	// the lock has only ever registered readers centrally. A gauge under
-	// Sub.
+	// Shards is the per-P cell count once a per-P array (sharded slots
+	// or epoch cells) exists, 0 while the lock has only ever registered
+	// readers centrally. A gauge under Sub.
 	Shards int `json:"shards"`
+	// Graces counts completed writer grace periods: drains that ran
+	// while the epoch registration protocol was selected, each of which
+	// advanced the global grace epoch and swept the per-P cells until
+	// every online reader had observed the advance or gone offline.
+	// Monotonic: Sub returns the difference.
+	Graces uint64 `json:"graces"`
+	// QuietGraces counts the grace periods that found no online epoch
+	// reader at all — the epoch machinery going unused across a whole
+	// writer round, the scale-down signal back toward sharded slots.
+	// Monotonic: Sub returns the difference.
+	QuietGraces uint64 `json:"quiet_graces"`
 }
 
 // Stats returns a snapshot of the mutex's adaptive state.

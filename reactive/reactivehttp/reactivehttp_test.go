@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -193,6 +194,43 @@ func TestHandlerReaderEngineRate(t *testing.T) {
 	}
 	if pr.SwitchRate != 1 {
 		t.Fatalf("switch rate = %v, want 1 (reader switches count)", pr.SwitchRate)
+	}
+}
+
+func TestHandlerEpochGraceDeltas(t *testing.T) {
+	// Grace-period counters of an epoch-registered RWMutex flow through
+	// the scrape surface: cumulative in Stats, per-interval in Delta,
+	// and named in the JSON encoding.
+	var reg Registry
+	rw := reactive.NewRWMutex(reactive.WithInitialReaderMode(reactive.ModeEpoch))
+	reg.Register("routes", rw)
+	h, clk := newTestHandler(&reg)
+	h.report()
+
+	// Three quiet grace periods (writer acquisitions in epoch mode with
+	// no reader online). Fewer than the demotion streak, so the
+	// registration protocol stays epoch.
+	for i := 0; i < 3; i++ {
+		rw.Lock()
+		rw.Unlock()
+	}
+	clk.advance(1 * time.Second)
+	rep := h.report()
+	pr := rep.Primitives["routes"]
+	if pr.Stats.Readers == nil || pr.Stats.Readers.Mode != reactive.ModeEpoch {
+		t.Fatalf("stats readers = %+v, want epoch mode", pr.Stats.Readers)
+	}
+	if pr.Delta.Readers == nil || pr.Delta.Readers.Graces != 3 || pr.Delta.Readers.QuietGraces != 3 {
+		t.Fatalf("delta readers = %+v, want 3 graces, 3 quiet", pr.Delta.Readers)
+	}
+	b, err := json.Marshal(pr.Stats.Readers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"graces":3`, `"quiet_graces":3`, `"mode":"epoch"`} {
+		if !strings.Contains(string(b), field) {
+			t.Fatalf("ReaderStats JSON %s missing %s", b, field)
+		}
 	}
 }
 

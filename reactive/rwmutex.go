@@ -17,28 +17,73 @@ import (
 const rwBias = 1 << 29
 
 // Engine-local mode indices for the reader-registration modal object.
-// The public Stats mapping (Stats().Readers) is ModeCAS + index, matching
-// FetchOp's convention: the centralized word is the cheap single-word
-// protocol, the per-P slots the sharded one.
+// The public Stats mapping (Stats().Readers) is ModeCAS + index for the
+// first two, matching FetchOp's convention (the centralized word is the
+// cheap single-word protocol, the per-P slots the sharded one); index 2
+// maps to ModeEpoch, the registration chain's own third protocol (see
+// readerPublicMode).
 const (
 	rCentral modal.Mode = 0
 	rSharded modal.Mode = 1
+	rEpoch   modal.Mode = 2
 )
 
-// readerShardTable is the 2-mode transition table of RWMutex's reader
-// registration protocol (centralized word ↔ BRAVO-style per-P slots),
-// orthogonal to the spin↔park wait table the same type also runs on.
-var readerShardTable = modal.NewTable(2, []modal.Transition{
+// readerPublicMode converts a registration-engine mode index to its
+// public Mode: rCentral→ModeCAS, rSharded→ModeSharded, rEpoch→ModeEpoch.
+func readerPublicMode(m modal.Mode) Mode {
+	if m == rEpoch {
+		return ModeEpoch
+	}
+	return ModeCAS + Mode(m)
+}
+
+// rgate is the epoch registration gate word (RWMutex.rgate): one shared
+// word epoch readers *load* but never store. Bits 63 and 62 are flags,
+// the low 62 bits count global grace periods. Writers own every store —
+// serialized by the writer mutex, or performed under full writer
+// exclusion for the mode-bit flips — so the word is single-writer and
+// plain load/modify/store suffices on the writer side.
+//
+// The bit layout is chosen for the reader fast path: the claim flag is
+// the sign bit, so RUnlock's "is a writer draining" check is one signed
+// sign test, and "epoch selected and no claim" is the single signed
+// compare g >= rgEpoch (claim set makes g negative; epoch set without a
+// claim makes g at least 2⁶²; neither leaves only grace bits, below
+// 2⁶²). Both checks fit the compiler's inlining budget where the
+// two-instruction mask-and-test form did not.
+const (
+	// rgClaim mirrors the readerCount claim for epoch readers: set
+	// (with a grace-epoch advance) before a writer sweeps the epoch
+	// cells, cleared at its release. An epoch reader validates its
+	// deposit against this single word. Sign bit: test with g < 0.
+	rgClaim int64 = -1 << 63
+	// rgEpoch is set exactly while the registration protocol is rEpoch;
+	// it changes only under writer exclusion, together with the engine
+	// commit. Test "epoch and unclaimed" with g >= rgEpoch.
+	rgEpoch int64 = 1 << 62
+	// rgGraceMask extracts the global grace-period counter.
+	rgGraceMask = rgEpoch - 1
+)
+
+// readerShardTable is the 3-mode transition table of RWMutex's reader
+// registration protocol (centralized word ↔ BRAVO-style per-P slots ↔
+// per-P epoch stamps — a chain with no shortcut edge, mirroring
+// FetchOp's N=3 chain), orthogonal to the spin↔park wait table the
+// same type also runs on.
+var readerShardTable = modal.NewTable(3, []modal.Transition{
 	{From: rCentral, To: rSharded, Dir: dirScaleUp, Residual: ResidualCheapHigh},
 	{From: rSharded, To: rCentral, Dir: dirScaleDown, Residual: ResidualScalableLow},
+	{From: rSharded, To: rEpoch, Dir: dirScaleUp, Residual: ResidualCheapHigh},
+	{From: rEpoch, To: rSharded, Dir: dirScaleDown, Residual: ResidualScalableLow},
 })
 
 // RWReaderTable returns the transition table RWMutex's reader
 // registration protocol runs on: mode index 0 = ModeCAS (centralized
-// word), 1 = ModeSharded (per-P slots) — mode index i is the public
-// mode ModeCAS + i, matching FetchOpTable's convention. The table is
-// immutable and shared; it is exported so harnesses and experiments can
-// drive the exact state machine the primitive uses rather than a
+// word), 1 = ModeSharded (per-P slots), 2 = ModeEpoch (per-P epoch
+// stamps) — the first two follow FetchOpTable's ModeCAS + i
+// convention, index 2 is the public ModeEpoch. The table is immutable
+// and shared; it is exported so harnesses and experiments can drive
+// the exact state machine the primitive uses rather than a
 // hand-maintained copy.
 func RWReaderTable() *modal.Table { return readerShardTable }
 
@@ -66,6 +111,14 @@ func RWReaderTable() *modal.Table { return readerShardTable }
 //     per-P affinity substrate) and a writer drains by sweeping the
 //     slots. Read-dominated workloads scale with cores instead of
 //     serializing on coherence traffic; writers pay a slot sweep.
+//   - ModeEpoch — userspace-RCU-style epoch registration, the chain's
+//     high-contention endpoint: RLock publishes only a local online
+//     stamp (count plus observed grace epoch) in its per-P cell and
+//     validates it against one shared gate word it never stores to, so
+//     an epoch-mode read performs zero shared-cacheline writes. Writers
+//     advance the global grace epoch and sweep the cells (a grace
+//     period) until every online reader has observed the advance or
+//     gone offline.
 //
 // Wait-protocol detection mirrors Mutex: a reader whose wait exceeded
 // the polling budget votes toward ModePark (SpinFailLimit consecutive
@@ -73,9 +126,13 @@ func RWReaderTable() *modal.Table { return readerShardTable }
 // votes toward ModeSpin (EmptyLimit consecutive such releases switch
 // back). Registration detection: a reader whose centralized CAS lost to
 // another *reader* votes toward ModeSharded (SpinFailLimit consecutive
-// losses switch); a writer whose drain found the lock already quiet
-// votes toward ModeCAS (EmptyLimit consecutive quiet drains switch
-// back). Registration-protocol changes are committed only under full
+// losses switch); a writer whose sharded drain found active readers —
+// the read-saturated regime where even the slot deposits bounce against
+// the drain — votes toward ModeEpoch (SpinFailLimit consecutive busy
+// drains switch); a writer whose drain found the lock already quiet
+// votes one step back down the chain (EmptyLimit consecutive quiet
+// drains, or quiet grace periods in epoch mode, switch).
+// Registration-protocol changes are committed only under full
 // writer exclusion, so no reader's RLock/RUnlock pair ever spans one.
 //
 // Readers register by compare-and-swap from a non-negative count (or by
@@ -131,6 +188,25 @@ type RWMutex struct {
 	slotsOnce sync.Once
 	slotsUp   atomic.Bool
 
+	// rgate is the epoch registration gate: the one shared word epoch
+	// readers load (mode bit, writer claim, global grace epoch — see the
+	// rgEpoch/rgClaim constants). Only writers store to it.
+	rgate atomic.Int64
+
+	// ecells are the per-P epoch cells (online-delta count + observed
+	// grace epoch, one coherence granule each). Like the slots, the
+	// counts are deltas: only the sum is meaningful, zero iff no epoch
+	// reader is active.
+	ecells     []affinity.EpochCell
+	ecellsOnce sync.Once
+	ecellsUp   atomic.Bool
+
+	// graces and quietGraces are the grace-period counters surfaced in
+	// ReaderStats: completed epoch-mode drains, and the subset that
+	// found no online reader.
+	graces      atomic.Uint64
+	quietGraces atomic.Uint64
+
 	// rq holds parked readers (phase two of the reader wait protocol);
 	// a releasing writer broadcasts into it. wq holds the one draining
 	// writer parked waiting for active readers to leave; the last
@@ -163,15 +239,52 @@ func NewRWMutex(opts ...Option) *RWMutex {
 		case ModePark:
 			rw.eng.TryCommit(spinParkTable, mSpin, mPark)
 		case ModeSharded:
-			// Sound without writer exclusion only because the lock is
-			// not yet shared: no reader exists to span the commit.
-			rw.readerSlots()
-			rw.reng.TryCommit(readerShardTable, rCentral, rSharded)
+			rw.forceReaderMode(rSharded)
+		case ModeEpoch:
+			rw.forceReaderMode(rEpoch)
 		default:
-			panic("reactive: NewRWMutex supports initial modes ModeSpin, ModePark, ModeCAS, and ModeSharded")
+			panic("reactive: NewRWMutex supports initial modes ModeSpin, ModePark, ModeCAS, ModeSharded, and ModeEpoch")
+		}
+	}
+	if rw.cfg.initRModeSet {
+		// WithInitialReaderMode addresses the registration engine
+		// specifically; applied after WithInitialMode, so when both name
+		// a registration mode the reader-specific option wins.
+		switch rw.cfg.initRMode {
+		case ModeCAS:
+			rw.forceReaderMode(rCentral)
+		case ModeSharded:
+			rw.forceReaderMode(rSharded)
+		case ModeEpoch:
+			rw.forceReaderMode(rEpoch)
 		}
 	}
 	return rw
+}
+
+// forceReaderMode walks the registration chain to m edge by edge at
+// construction time. Sound without writer exclusion only because the
+// lock is not yet shared: no reader exists to span the commits.
+func (rw *RWMutex) forceReaderMode(m modal.Mode) {
+	for rw.reng.Mode() != m {
+		cur := rw.reng.Mode()
+		next := cur + 1
+		if cur > m {
+			next = cur - 1
+		}
+		if next != rCentral {
+			rw.readerSlots()
+		}
+		if next == rEpoch {
+			rw.epochCells()
+		}
+		rw.reng.TryCommit(readerShardTable, cur, next)
+	}
+	if m == rEpoch {
+		rw.rgate.Store(rgEpoch)
+	} else {
+		rw.rgate.Store(rw.rgate.Load() &^ rgEpoch)
+	}
 }
 
 // Stats returns a snapshot of the lock's adaptive state: the reader wait
@@ -181,7 +294,9 @@ func NewRWMutex(opts ...Option) *RWMutex {
 // Readers.
 func (rw *RWMutex) Stats() Stats {
 	shards := 0
-	if rw.slotsUp.Load() {
+	if rw.ecellsUp.Load() {
+		shards = len(rw.ecells)
+	} else if rw.slotsUp.Load() {
 		shards = len(rw.slots)
 	}
 	return Stats{
@@ -189,9 +304,11 @@ func (rw *RWMutex) Stats() Stats {
 		Switches: rw.eng.Switches(),
 		Waiters:  rw.rq.Len() + rw.wq.Len() + rw.w.q.Len(),
 		Readers: &ReaderStats{
-			Mode:     ModeCAS + Mode(rw.reng.Mode()),
-			Switches: rw.reng.Switches(),
-			Shards:   shards,
+			Mode:        readerPublicMode(rw.reng.Mode()),
+			Switches:    rw.reng.Switches(),
+			Shards:      shards,
+			Graces:      rw.graces.Load(),
+			QuietGraces: rw.quietGraces.Load(),
 		},
 	}
 }
@@ -204,6 +321,19 @@ func (rw *RWMutex) readerSlots() []affinity.Cell {
 		rw.slotsUp.Store(true)
 	})
 	return rw.slots
+}
+
+// epochCells returns the epoch cell array, creating it on first use,
+// sized like the slots. The array is always built before rEpoch is
+// published (forceReaderMode, the drain's promotion, switchReaderMode),
+// so a reader that observed the epoch mode — an acquire of the engine's
+// commit — sees a non-nil rw.ecells without any further check.
+func (rw *RWMutex) epochCells() []affinity.EpochCell {
+	rw.ecellsOnce.Do(func() {
+		rw.ecells = make([]affinity.EpochCell, affinity.Shards())
+		rw.ecellsUp.Store(true)
+	})
+	return rw.ecells
 }
 
 // RLock acquires the lock for reading. It is the uncancellable special
@@ -242,8 +372,11 @@ func (rw *RWMutex) RLockCtx(ctx context.Context) error {
 // rlockFast attempts one uncontended read registration under the current
 // registration protocol; false sends the caller to the slow path.
 func (rw *RWMutex) rlockFast() bool {
-	if rw.reng.Mode() == rSharded {
+	switch rw.reng.Mode() {
+	case rSharded:
 		return rw.rlockSharded()
+	case rEpoch:
+		return rw.rlockEpoch()
 	}
 	if v := rw.readerCount.Load(); v >= 0 && rw.readerCount.CompareAndSwap(v, v+1) {
 		// Re-validate the mode: the read that chose the centralized
@@ -300,6 +433,58 @@ func (rw *RWMutex) runlockSharded(s *affinity.Cell) {
 	}
 }
 
+// rlockEpoch attempts one epoch-mode registration: publish an online
+// stamp in this P's cell — bump the cell count and record the global
+// grace epoch being observed — then validate against the one shared
+// gate word that the epoch mode is still selected and no writer claim
+// is in place. Either validation failing undoes the stamp and reports
+// false (slow path), so a reader arriving during a writer's claim falls
+// back to the parked path and writers cannot starve.
+//
+// The exclusion argument is the sharded protocol's, compressed onto one
+// word: the cell increment is a sequentially consistent
+// read-modify-write, so it precedes this goroutine's gate load; a
+// claiming writer stores rgClaim before its first cell sweep. If the
+// gate load saw no claim, the load came before the writer's store, so
+// the increment is visible to every sweep of that grace period. The
+// gate load is the *only* shared-word access — an epoch read writes
+// nothing outside its own per-P cell.
+func (rw *RWMutex) rlockEpoch() bool {
+	cells := rw.ecells // non-nil: built before rEpoch was published
+	c := &cells[affinity.Pin()&(len(cells)-1)]
+	c.Cnt.Add(1)
+	if g := rw.rgate.Load(); g >= rgEpoch {
+		// Registered: the mode is frozen until this reader goes offline
+		// (every registration commit runs under a drain this stamp
+		// blocks). Record the grace epoch observed — the store is to
+		// this P's own cell and is skipped when already current, so
+		// steady-state reads keep the cell line exclusive.
+		if e := uint64(g & rgGraceMask); c.Seen.Load() != e {
+			c.Seen.Store(e)
+		}
+		affinity.Unpin()
+		return true
+	}
+	affinity.Unpin()
+	rw.runlockEpoch(c)
+	return false
+}
+
+// runlockEpoch takes one epoch reader offline (or undoes a failed
+// registration) and nudges a draining writer to re-sweep. The claim
+// check orders after the decrement (a sequentially consistent RMW), so
+// a writer that swept before the decrement either sees the grant or was
+// still polling and re-sweeps on its own.
+func (rw *RWMutex) runlockEpoch(c *affinity.EpochCell) {
+	c.Cnt.Add(-1)
+	if rw.rgate.Load() < 0 {
+		// A writer's grace period may be parked waiting for the cell
+		// sum to reach zero; wake it to re-sweep. A spurious grant is
+		// consumed harmlessly (the drain re-checks and re-parks).
+		rw.wq.Grant()
+	}
+}
+
 // runlockCentral releases one centralized registration (or undoes a
 // stale one), waking a draining writer when the last reader leaves.
 func (rw *RWMutex) runlockCentral() {
@@ -319,11 +504,20 @@ func (rw *RWMutex) runlockCentral() {
 // TryRLock attempts to acquire the lock for reading without waiting.
 func (rw *RWMutex) TryRLock() bool {
 	for {
-		if rw.reng.Mode() == rSharded {
+		switch rw.reng.Mode() {
+		case rSharded:
 			if rw.rlockSharded() {
 				return true
 			}
 			if rw.readerCount.Load() < 0 {
+				return false // writer claim in place
+			}
+			continue // registration protocol changed under us: redispatch
+		case rEpoch:
+			if rw.rlockEpoch() {
+				return true
+			}
+			if rw.rgate.Load() < 0 || rw.readerCount.Load() < 0 {
 				return false // writer claim in place
 			}
 			continue // registration protocol changed under us: redispatch
@@ -370,11 +564,24 @@ func (rw *RWMutex) rlockSlow(ctx context.Context, done <-chan struct{}) error {
 			// No writer claim: attempt a registration under the current
 			// protocol. Failures here are races (a claiming writer, a
 			// protocol change, another reader's CAS), not waits.
-			if rw.reng.Mode() == rSharded {
+			switch rw.reng.Mode() {
+			case rSharded:
 				if rw.rlockSharded() {
 					rw.noteReadWait(blocked, budget)
 					return nil
 				}
+				continue
+			case rEpoch:
+				if rw.rlockEpoch() {
+					rw.noteReadWait(blocked, budget)
+					return nil
+				}
+				// The epoch gate can lag the centralized claim by two
+				// stores on the release path; yield between retries so a
+				// releasing writer that was preempted mid-release gets
+				// the P back (a non-yielding retry loop could stall on a
+				// small-GOMAXPROCS host for a whole preemption quantum).
+				bo.Pause()
 				continue
 			}
 			v := rw.readerCount.Load()
@@ -476,14 +683,43 @@ func (rw *RWMutex) rlockPark(ctx context.Context, done <-chan struct{}) error {
 // the one RLock registered under: a registered reader blocks every
 // registration-protocol commit until it releases (see rlockSharded).
 func (rw *RWMutex) RUnlock() {
-	if rw.reng.Mode() == rSharded {
+	switch rw.reng.Mode() {
+	case rSharded:
 		slots := rw.readerSlots()
 		s := &slots[affinity.Pin()&(len(slots)-1)]
 		affinity.Unpin()
 		rw.runlockSharded(s)
-		return
+	case rEpoch:
+		cells := rw.ecells
+		c := &cells[affinity.Pin()&(len(cells)-1)]
+		affinity.Unpin()
+		rw.runlockEpoch(c)
+	default:
+		rw.runlockCentral()
 	}
-	rw.runlockCentral()
+}
+
+// claimEpochGate places the writer's claim on the epoch gate and
+// advances the global grace epoch, before the caller's first cell
+// sweep. A no-op until the epoch cells exist. The caller holds the
+// writer mutex (or, in switchReaderMode's promotion, full writer
+// exclusion), so the plain load/modify/store pair is single-writer; the
+// store is sequentially consistent, so it precedes every sweep load
+// that follows it.
+func (rw *RWMutex) claimEpochGate() {
+	if rw.ecellsUp.Load() {
+		g := rw.rgate.Load()
+		rw.rgate.Store((g &^ rgGraceMask) | rgClaim | ((g + 1) & rgGraceMask))
+	}
+}
+
+// releaseEpochGate retracts the writer's claim from the epoch gate — at
+// release, or when a cancelled LockCtx or failed TryLock undoes its
+// transient claim. A no-op until the epoch cells exist.
+func (rw *RWMutex) releaseEpochGate() {
+	if rw.ecellsUp.Load() {
+		rw.rgate.Store(rw.rgate.Load() &^ rgClaim)
+	}
 }
 
 // Lock acquires the lock for writing. It is the uncancellable special
@@ -491,12 +727,15 @@ func (rw *RWMutex) RUnlock() {
 func (rw *RWMutex) Lock() {
 	rw.w.Lock()
 	// Claim the lock; new readers now wait. Then drain active readers.
-	// Once the slots exist the sweep is permanent, whatever the current
-	// registration mode: a reader that observed the sharded mode may
-	// deposit into a slot arbitrarily late, so no later drain may skip
-	// the slots without risking lost exclusion (the same reasoning as
-	// FetchOp.Value's permanent reconciliation).
-	if rw.readerCount.Add(-rwBias) != -rwBias || rw.slotsUp.Load() {
+	// Once the slots (or epoch cells) exist the sweep is permanent,
+	// whatever the current registration mode: a reader that observed the
+	// sharded or epoch mode may deposit into its cell arbitrarily late,
+	// so no later drain may skip the cells without risking lost
+	// exclusion (the same reasoning as FetchOp.Value's permanent
+	// reconciliation).
+	busy := rw.readerCount.Add(-rwBias) != -rwBias
+	rw.claimEpochGate()
+	if busy || rw.slotsUp.Load() || rw.ecellsUp.Load() {
 		rw.drainReaders(nil, nil)
 	}
 }
@@ -515,12 +754,15 @@ func (rw *RWMutex) LockCtx(ctx context.Context) error {
 	if err := rw.w.LockCtx(ctx); err != nil {
 		return err
 	}
-	if rw.readerCount.Add(-rwBias) != -rwBias || rw.slotsUp.Load() {
+	busy := rw.readerCount.Add(-rwBias) != -rwBias
+	rw.claimEpochGate()
+	if busy || rw.slotsUp.Load() || rw.ecellsUp.Load() {
 		if err := rw.drainReaders(ctx, ctx.Done()); err != nil {
-			// Cancelled mid-drain: retract the claim and wake the readers
-			// the transient claim may have parked (the same undo TryLock
-			// performs), then release the writer mutex.
+			// Cancelled mid-drain: retract both claims and wake the
+			// readers the transient claim may have parked (the same undo
+			// TryLock performs), then release the writer mutex.
 			rw.readerCount.Add(rwBias)
+			rw.releaseEpochGate()
 			rw.rq.GrantAll()
 			rw.w.Unlock()
 			return err
@@ -538,11 +780,15 @@ func (rw *RWMutex) TryLock() bool {
 		rw.w.Unlock()
 		return false
 	}
-	if rw.slotSum() != 0 {
-		// Active sharded readers (or a transient deposit): with the
-		// claim already in place a single sweep reading zero proves
+	rw.claimEpochGate()
+	if rw.slotSum() != 0 || rw.epochSum() != 0 {
+		// Active sharded or epoch readers (or a transient deposit): with
+		// the claims already in place a single sweep reading zero proves
 		// quiescence, so a nonzero read means waiting — undo and fail.
+		// The epoch advance stands even though the claim is retracted:
+		// a TryLock-undo still moves the global epoch forward.
 		rw.readerCount.Add(rwBias)
+		rw.releaseEpochGate()
 		// A park-mode reader may have parked during the transient
 		// claim; without this wake only a later writer's release would
 		// free it.
@@ -571,22 +817,46 @@ func (rw *RWMutex) slotSum() int64 {
 	return sum
 }
 
-// drained reports whether every active reader — centrally registered or
-// slot-registered — has released.
+// epochSum sweeps the epoch cells. The exclusion argument is slotSum's:
+// with the epoch-gate claim in place, registered stamps all precede the
+// claim (a reader validates the gate after depositing), so every sweep
+// read includes them; transient deposit/undo pairs can only inflate the
+// sum. A zero read therefore proves no epoch reader is online — the
+// grace period is over.
+func (rw *RWMutex) epochSum() int64 {
+	if !rw.ecellsUp.Load() {
+		return 0
+	}
+	var sum int64
+	for i := range rw.ecells {
+		sum += rw.ecells[i].Cnt.Load()
+	}
+	return sum
+}
+
+// drained reports whether every active reader — centrally registered,
+// slot-registered, or epoch-stamped — has released. As the drain's poll
+// predicate it runs inside modal.Poll's yield-per-attempt loop, so the
+// repeated cell sweeps stay scheduler-cooperative on small-GOMAXPROCS
+// hosts (a non-yielding sweep could freeze the very readers it waits
+// on).
 func (rw *RWMutex) drained() bool {
-	return rw.readerCount.Load() == -rwBias && rw.slotSum() == 0
+	return rw.readerCount.Load() == -rwBias && rw.slotSum() == 0 && rw.epochSum() == 0
 }
 
 // drainReaders waits for the active readers to release, two-phase: poll
 // through the (deadline-aware) budget, then park on the writer-drain
 // queue that the last draining reader (central or sharded) grants into.
-// It also runs the registration protocol's scale-down detection: a drain
-// that found the lock already quiet means the slot machinery went unused
-// across a whole writer round — EmptyLimit consecutive such drains retire
-// the sharded protocol. The commit happens right here, under the writer's
-// own exclusion (claim in place, drain complete), so no reader can span
-// it. A non-nil done aborts the wait with ctx.Err(); the caller retracts
-// the claim.
+// It also runs the registration protocol's promotion and scale-down
+// detection: a drain that found the lock already quiet means the cell
+// machinery went unused across a whole writer round — EmptyLimit
+// consecutive such drains (or quiet grace periods) retire one step of
+// the chain — while a sharded drain that found active readers is the
+// read-saturation signal, SpinFailLimit consecutive of which promote to
+// the epoch protocol. Commits happen right here, under the writer's own
+// exclusion (claim in place, drain complete), so no reader can span
+// them. A non-nil done aborts the wait with ctx.Err(); the caller
+// retracts the claim.
 func (rw *RWMutex) drainReaders(ctx context.Context, done <-chan struct{}) error {
 	idle := rw.drained()
 	if !idle {
@@ -600,13 +870,52 @@ func (rw *RWMutex) drainReaders(ctx context.Context, done <-chan struct{}) error
 			}
 		}
 	}
-	if rw.reng.Mode() == rSharded {
+	switch rw.reng.Mode() {
+	case rSharded:
 		if idle {
+			// The slot machinery went unused across a whole writer
+			// round: vote down, and break any busy-drain streak toward
+			// the epoch protocol.
+			rw.reng.Good(readerShardTable, rSharded, rEpoch)
 			if rw.reng.Vote(readerShardTable, rSharded, rCentral, rw.cfg.emptyLim()) {
 				rw.reng.TryCommit(readerShardTable, rSharded, rCentral)
 			}
 		} else {
+			// Active sharded readers at writer arrival: the
+			// read-saturated regime where even slot deposits contend
+			// with the drain — the epoch protocol's regime. Vote up,
+			// and break the quiet-drain streak toward the centralized
+			// word.
 			rw.reng.Good(readerShardTable, rSharded, rCentral)
+			if rw.reng.Vote(readerShardTable, rSharded, rEpoch, rw.cfg.failLimit()) {
+				// Commit under this writer's own exclusion: build the
+				// cells and raise the gate's mode bit — with the claim,
+				// since this writer is still inside its critical
+				// section and epoch readers validate only the gate —
+				// before the commit publishes the mode.
+				rw.epochCells()
+				g := rw.rgate.Load()
+				rw.rgate.Store(g | rgEpoch | rgClaim)
+				rw.reng.TryCommit(readerShardTable, rSharded, rEpoch)
+			}
+		}
+	case rEpoch:
+		// Every epoch-mode drain is one grace period: the claim advanced
+		// the global epoch, and the sweep above waited until every
+		// online reader observed it or went offline.
+		rw.graces.Add(1)
+		if idle {
+			rw.quietGraces.Add(1)
+			if rw.reng.Vote(readerShardTable, rEpoch, rSharded, rw.cfg.emptyLim()) {
+				// Demote under this writer's own exclusion: ensure the
+				// slots exist (a forced-epoch lock may never have built
+				// them), lower the mode bit, then publish the commit.
+				rw.readerSlots()
+				rw.rgate.Store(rw.rgate.Load() &^ rgEpoch)
+				rw.reng.TryCommit(readerShardTable, rEpoch, rSharded)
+			}
+		} else {
+			rw.reng.Good(readerShardTable, rEpoch, rSharded)
 		}
 	}
 	return nil
@@ -651,7 +960,8 @@ func (rw *RWMutex) Unlock() {
 	if rw.readerCount.Add(rwBias) != 0 {
 		panic("reactive: Unlock of unlocked RWMutex")
 	}
-	// Broadcast after the claim clears: a reader that announces later
+	rw.releaseEpochGate()
+	// Broadcast after the claims clear: a reader that announces later
 	// re-checks the claim after queuing and leaves on its own.
 	rw.rq.GrantAll()
 	if rw.eng.Mode() == mPark {
@@ -680,16 +990,33 @@ func (rw *RWMutex) switchRWMode(want, next Mode) {
 
 // switchReaderMode performs a registration-protocol change from want to
 // next by taking the write lock: commits are sound only under full
-// writer exclusion (claim in place, both registration paths drained),
+// writer exclusion (claim in place, all registration paths drained),
 // which is what guarantees no reader's RLock/RUnlock pair spans a
-// change. The slots are built before a slot-based mode is published so
-// readers never observe a nil array. Callers already holding the write
-// lock (the drain's scale-down detection) commit directly instead.
+// change. The per-P arrays are built before a cell-based mode is
+// published so readers never observe a nil array, and the epoch gate's
+// mode bit flips with the commit, still under the exclusion (epoch
+// cells are built before Lock so its claim covers the gate). Callers
+// already holding the write lock (the drain's detection) commit
+// directly instead.
 func (rw *RWMutex) switchReaderMode(want, next modal.Mode) {
 	if next != rCentral {
 		rw.readerSlots()
 	}
+	if next == rEpoch {
+		rw.epochCells()
+	}
 	rw.Lock()
-	rw.reng.TryCommit(readerShardTable, want, next)
+	// Holding the write lock freezes the mode (commits happen only under
+	// writer exclusion), so a re-check here decides the whole critical
+	// section.
+	if rw.reng.Mode() == want {
+		switch {
+		case next == rEpoch:
+			rw.rgate.Store(rw.rgate.Load() | rgEpoch)
+		case want == rEpoch:
+			rw.rgate.Store(rw.rgate.Load() &^ rgEpoch)
+		}
+		rw.reng.TryCommit(readerShardTable, want, next)
+	}
 	rw.Unlock()
 }

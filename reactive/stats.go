@@ -23,6 +23,8 @@ func (m *Mode) UnmarshalText(text []byte) error {
 		*m = ModeSharded
 	case "combining":
 		*m = ModeCombining
+	case "epoch":
+		*m = ModeEpoch
 	default:
 		return fmt.Errorf("reactive: unknown mode %q", text)
 	}
@@ -72,13 +74,15 @@ func (s Stats) Sub(prev Stats) Stats {
 }
 
 // Sub returns the delta from an earlier reader-engine snapshot prev to
-// r, with the same per-field semantics as Stats.Sub: Switches is a
-// monotonic counter (unsigned, wrapping subtraction), Mode and Shards
-// are gauges that keep r's value.
+// r, with the same per-field semantics as Stats.Sub: Switches, Graces,
+// and QuietGraces are monotonic counters (unsigned, wrapping
+// subtraction), Mode and Shards are gauges that keep r's value.
 func (r ReaderStats) Sub(prev ReaderStats) ReaderStats {
 	return ReaderStats{
-		Mode:     r.Mode,
-		Switches: r.Switches - prev.Switches,
-		Shards:   r.Shards,
+		Mode:        r.Mode,
+		Switches:    r.Switches - prev.Switches,
+		Shards:      r.Shards,
+		Graces:      r.Graces - prev.Graces,
+		QuietGraces: r.QuietGraces - prev.QuietGraces,
 	}
 }

@@ -39,12 +39,12 @@ func TestStatsJSON(t *testing.T) {
 	if string(b) != want {
 		t.Fatalf("Stats JSON = %s, want %s", b, want)
 	}
-	s.Readers = &ReaderStats{Mode: ModeSharded, Switches: 1, Shards: 4}
+	s.Readers = &ReaderStats{Mode: ModeSharded, Switches: 1, Shards: 4, Graces: 6, QuietGraces: 5}
 	b, err = json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want = `{"mode":"park","switches":3,"waiters":2,"readers":{"mode":"sharded","switches":1,"shards":4}}`
+	want = `{"mode":"park","switches":3,"waiters":2,"readers":{"mode":"sharded","switches":1,"shards":4,"graces":6,"quiet_graces":5}}`
 	if string(b) != want {
 		t.Fatalf("Stats JSON with readers = %s, want %s", b, want)
 	}
@@ -127,10 +127,10 @@ func TestStatsSubReaders(t *testing.T) {
 }
 
 func TestReaderStatsSub(t *testing.T) {
-	cur := ReaderStats{Mode: ModeSharded, Switches: 9, Shards: 16}
-	prev := ReaderStats{Mode: ModeCAS, Switches: 4, Shards: 0}
+	cur := ReaderStats{Mode: ModeEpoch, Switches: 9, Shards: 16, Graces: 20, QuietGraces: 7}
+	prev := ReaderStats{Mode: ModeCAS, Switches: 4, Shards: 0, Graces: 12, QuietGraces: 3}
 	d := cur.Sub(prev)
-	if d != (ReaderStats{Mode: ModeSharded, Switches: 5, Shards: 16}) {
+	if d != (ReaderStats{Mode: ModeEpoch, Switches: 5, Shards: 16, Graces: 8, QuietGraces: 4}) {
 		t.Fatalf("ReaderStats.Sub = %+v", d)
 	}
 	if cur.Sub(ReaderStats{}) != cur {
