@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full bench bench-compare loadtest lint examples docs-check
+.PHONY: all build test test-full bench bench-compare loadtest lint examples docs-check torture fuzz-short
 
 all: lint build test
 
@@ -18,7 +18,7 @@ test:
 	$(GO) test -race -short ./...
 	$(GO) build -tags reactive_noprocpin ./...
 	$(GO) test -tags reactive_noprocpin -short ./reactive/...
-	$(GO) test -tags reactive_noprocpin -race -short -run 'Ctx|Cancel|Handoff|Stress|Epoch|GOMAXPROCS' ./reactive/...
+	$(GO) test -tags reactive_noprocpin -race -short -run 'Ctx|Cancel|Handoff|Stress|Epoch|GOMAXPROCS|Misuse|Panic|Invariants|Fuzz' ./reactive/...
 
 # The CI examples job: every example vets clean and runs to completion.
 examples:
@@ -58,6 +58,30 @@ loadtest:
 	@$(GO) run ./cmd/benchcmp -tail -threshold $(TAIL_THRESHOLD) > bench_tail_compare.txt; \
 	st=$$?; cat bench_tail_compare.txt; exit $$st
 
+# The CI torture job: the locktorture-style scenario matrix with the
+# fault-injection hooks compiled in (reactive_chaos) and the race
+# detector on. The dump/cmp pair pins the determinism contract — the
+# same base seed must yield byte-identical schedules across separate
+# invocations — and a failing case leaves torture_repro_<case>.json in
+# the working directory for `go run ./cmd/torture -replay`.
+TORTURE_OPS ?= 5000
+torture:
+	$(GO) vet -tags reactive_chaos ./...
+	$(GO) test -tags reactive_chaos -race -short ./reactive/... ./internal/torture/
+	$(GO) run -tags reactive_chaos ./cmd/torture -dump > torture_dump_a.json
+	$(GO) run -tags reactive_chaos ./cmd/torture -dump > torture_dump_b.json
+	cmp torture_dump_a.json torture_dump_b.json
+	$(GO) run -tags reactive_chaos -race ./cmd/torture -workers 8 -ops $(TORTURE_OPS) -out .
+
+# Native fuzz targets: first replay the checked-in seed corpus as
+# ordinary tests (what every `go test` run does), then fuzz each target
+# briefly so CI keeps exploring fresh interleavings.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test -run Fuzz ./reactive/internal/waitq/ ./reactive/modal/
+	$(GO) test -run '^$$' -fuzz FuzzWaitqOps -fuzztime $(FUZZTIME) ./reactive/internal/waitq/
+	$(GO) test -run '^$$' -fuzz FuzzEngineTransitions -fuzztime $(FUZZTIME) ./reactive/modal/
+
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
@@ -69,6 +93,7 @@ lint:
 # produce its documented output.
 docs-check:
 	$(GO) test -run TestExperimentIndexInSync ./internal/experiments
+	$(GO) test -run TestTortureScenarioTableInSync ./internal/torture
 	@out="$$(gofmt -l reactive/reactivehttp)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./reactive/reactivehttp
 	$(GO) test -run Example ./...

@@ -277,7 +277,7 @@ func BenchmarkTable4_6_HalfB(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §11) ---
+// --- Ablations (DESIGN.md §12) ---
 
 func BenchmarkAblationOptimisticTAS(b *testing.B) {
 	for _, proto := range []string{"reactive", "reactive-nonoptimistic"} {

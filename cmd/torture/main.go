@@ -1,0 +1,235 @@
+// Command torture is the locktorture-style stress driver for the
+// reactive primitives. It runs the scenario matrix in internal/torture
+// — every primitive × mode chain × switching policy under mixed op
+// vocabularies — with a deterministic fault schedule derived from the
+// base seed, and turns any failure into a replayable JSON artifact:
+//
+//	torture                            # run every case
+//	torture -list                      # show the matrix
+//	torture -case mutex/flip-storm     # one case (comma-separate for more)
+//	torture -seed 7 -workers 16 -ops 20000
+//	torture -dump                      # print the repro artifacts, don't run
+//	torture -replay torture_repro_mutex_flip-storm.json
+//
+// Fault injection fires only when built with the reactive_chaos tag:
+//
+//	go run -tags reactive_chaos -race ./cmd/torture
+//
+// A default build runs the same op schedules with the hooks compiled
+// out — still a torture run, just without injected stalls. On failure
+// the run's Repro is written to -out as torture_repro_<case>.json and
+// the exit status is 1; -replay re-executes such an artifact's exact
+// schedule (same case seed, same fleet shape, same fault rules).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/torture"
+	"repro/reactive/chaos"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the scenario matrix and exit")
+		sel     = flag.String("case", "all", "comma-separated case names, or all")
+		seed    = flag.Uint64("seed", experiments.DefaultSeed, "base seed (case seeds are derived per case)")
+		workers = flag.Int("workers", 8, "workers per case")
+		ops     = flag.Int("ops", 5000, "ops per worker")
+		guard   = flag.Duration("guard", 30*time.Second, "stranded-waiter watchdog (0 disables)")
+		dump    = flag.Bool("dump", false, "print the selected cases' repro artifacts instead of running")
+		asJSON  = flag.Bool("json", false, "emit one JSON result line per case")
+		outDir  = flag.String("out", ".", "directory for failure repro artifacts")
+		replay  = flag.String("replay", "", "re-run the exact schedule from a repro artifact file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range torture.Cases() {
+			fmt.Printf("%-26s %s\n", c.Name, c.Desc)
+		}
+		return
+	}
+
+	if *replay != "" {
+		os.Exit(replayRun(*replay, *guard, *asJSON, *outDir))
+	}
+
+	var repros []*torture.Repro
+	names := selectCases(*sel)
+	for _, name := range names {
+		r, err := torture.NewRepro(name, *seed, *workers, *ops)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		repros = append(repros, r)
+	}
+
+	if *dump {
+		for _, r := range repros {
+			b, err := r.Encode()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			os.Stdout.Write(append(b, '\n'))
+		}
+		return
+	}
+
+	if !*asJSON {
+		fmt.Printf("torture: %d case(s), %d workers × %d ops, base seed %#x, chaos hooks %s\n",
+			len(repros), *workers, *ops, *seed, builtState())
+	}
+	failures := 0
+	for _, r := range repros {
+		if runOne(r, *guard, *asJSON, *outDir) != nil {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "torture: %d of %d case(s) FAILED\n", failures, len(repros))
+		os.Exit(1)
+	}
+	if !*asJSON {
+		fmt.Printf("torture: all %d case(s) passed\n", len(repros))
+	}
+}
+
+func selectCases(sel string) []string {
+	if sel == "all" {
+		var names []string
+		for _, c := range torture.Cases() {
+			names = append(names, c.Name)
+		}
+		return names
+	}
+	var names []string
+	for _, n := range strings.Split(sel, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "torture: -case selected nothing")
+		os.Exit(2)
+	}
+	return names
+}
+
+// runOne executes one descriptor, reports, and writes the repro
+// artifact on failure. Returns the case error (nil on success).
+func runOne(r *torture.Repro, guard time.Duration, asJSON bool, outDir string) error {
+	res := r.Run(guard)
+	if asJSON {
+		printJSON(res)
+	} else if res.Err == nil {
+		fmt.Printf("  ok   %-26s %8.1fms  %s\n", res.Case, res.Elapsed.Seconds()*1e3, pointSummary(res.Points))
+	}
+	if res.Err == nil {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "  FAIL %-26s %v\n", res.Case, res.Err)
+	if path, err := writeArtifact(r, outDir); err != nil {
+		fmt.Fprintf(os.Stderr, "  torture: writing repro artifact: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "  repro artifact: %s (re-run with -replay %s)\n", path, path)
+	}
+	return res.Err
+}
+
+func replayRun(path string, guard time.Duration, asJSON bool, outDir string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	r, err := torture.DecodeRepro(b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if !asJSON {
+		fmt.Printf("torture: replaying %s (case seed %#x, %d workers × %d ops, chaos hooks %s)\n",
+			r.Case, r.Seed, r.Workers, r.Ops, builtState())
+		if r.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+			fmt.Printf("torture: note: artifact ran at GOMAXPROCS=%d, this host uses %d — pinning to the artifact's\n",
+				r.GOMAXPROCS, runtime.GOMAXPROCS(0))
+		}
+		if r.ChaosBuilt != chaos.Built {
+			fmt.Printf("torture: note: artifact was emitted with chaos hooks %v, this binary has %v — injected faults will differ\n",
+				r.ChaosBuilt, chaos.Built)
+		}
+	}
+	// Replay fidelity: match the emitting run's parallelism.
+	prev := runtime.GOMAXPROCS(r.GOMAXPROCS)
+	defer runtime.GOMAXPROCS(prev)
+	if runOne(r, guard, asJSON, outDir) != nil {
+		return 1
+	}
+	return 0
+}
+
+func writeArtifact(r *torture.Repro, outDir string) (string, error) {
+	b, err := r.Encode()
+	if err != nil {
+		return "", err
+	}
+	name := "torture_repro_" + strings.ReplaceAll(r.Case, "/", "_") + ".json"
+	path := filepath.Join(outDir, name)
+	return path, os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func printJSON(res torture.Result) {
+	out := struct {
+		Case     string            `json:"case"`
+		Seed     uint64            `json:"seed"`
+		OK       bool              `json:"ok"`
+		Error    string            `json:"error,omitempty"`
+		Elapsed  float64           `json:"elapsed_ms"`
+		Injected []chaos.PointStat `json:"injected,omitempty"`
+	}{
+		Case:     res.Case,
+		Seed:     res.Seed,
+		OK:       res.Err == nil,
+		Elapsed:  res.Elapsed.Seconds() * 1e3,
+		Injected: res.Points,
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	os.Stdout.Write(append(b, '\n'))
+}
+
+func pointSummary(ps []chaos.PointStat) string {
+	if len(ps) == 0 {
+		return ""
+	}
+	var hits, fired uint64
+	for _, p := range ps {
+		hits += p.Hits
+		fired += p.Fired
+	}
+	return fmt.Sprintf("faults fired %d/%d point hits", fired, hits)
+}
+
+func builtState() string {
+	if chaos.Built {
+		return "COMPILED IN"
+	}
+	return "compiled out"
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/watchdog"
 	"repro/reactive/reactivehttp"
 )
 
@@ -140,16 +141,18 @@ func runLive(sc Spec, o Options) (*Report, error) {
 	// The stranded-waiter guard: every lane must drain within Guard of
 	// the last arrival. A lane that never returns means a waiter was
 	// lost inside a primitive — the failure mode the no-lost-wakeup
-	// design rules out, so it is reported loudly rather than hung on.
+	// design rules out, so it is reported loudly (with the watchdog's
+	// goroutine dump and a service snapshot) rather than hung on.
 	fleetDone := make(chan struct{})
 	go func() { wg.Wait(); close(fleetDone) }()
-	select {
-	case <-fleetDone:
-	case <-time.After(o.Guard):
+	if err := watchdog.Await(fleetDone, o.Guard, func() string {
+		return fmt.Sprintf("service: hits=%d journal=%d peak_latency_ns=%d",
+			svc.Hits(), svc.JournalLen(), svc.PeakLatency())
+	}); err != nil {
 		rep.LostWaiters = o.Workers // at least one; lanes cannot be inspected safely
 		rep.finish()
-		return rep, fmt.Errorf("loadsvc: %s: worker fleet still blocked %v after the last arrival (stranded waiter?)",
-			sc.Name, o.Guard)
+		return rep, fmt.Errorf("loadsvc: %s: worker fleet still blocked %v after the last arrival (stranded waiter?): %w",
+			sc.Name, o.Guard, err)
 	}
 
 	for _, t := range tallies {

@@ -1,0 +1,379 @@
+package torture
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"repro/reactive"
+	"repro/reactive/policy"
+)
+
+// The scenario matrix. Every primitive appears with its full mode chain
+// in motion: flip-storm cases force constant protocol switching
+// (hair-trigger thresholds or an always-switch policy), cancel-storm
+// cases keep the cancellation and deadline paths under fire, and the
+// remaining cases pin the specific windows the paper's soundness
+// argument leans on (epoch-mode TryLock undo, combining-mode harvest).
+var cases = []Case{
+	{
+		Name: "mutex/flip-storm",
+		Desc: "Mutex under hair-trigger spin↔park flipping with the full op vocabulary",
+		run: func(rc runCtx) error {
+			return mutexCase(rc, false,
+				reactive.WithSpinFailLimit(1), reactive.WithEmptyLimit(1))
+		},
+	},
+	{
+		Name: "mutex/cancel-storm",
+		Desc: "Mutex hammered with microsecond-deadline LockCtx/TryLockFor cancellations",
+		run: func(rc runCtx) error {
+			return mutexCase(rc, true,
+				reactive.WithPolicy(policy.NewCompetitive(64)))
+		},
+	},
+	{
+		Name: "mutex/congestion",
+		Desc: "Mutex with the congestion-control policy steering the mode chain",
+		run: func(rc runCtx) error {
+			return mutexCase(rc, false,
+				reactive.WithPolicy(policy.NewCongestion()))
+		},
+	},
+	{
+		Name: "rwmutex/chain-walk",
+		Desc: "RWMutex walking the centralized↔sharded↔epoch reader chain under mixed load",
+		run: func(rc runCtx) error {
+			return rwCase(rc, rwMixed,
+				reactive.WithSpinFailLimit(1), reactive.WithEmptyLimit(1))
+		},
+	},
+	{
+		Name: "rwmutex/epoch-trylock",
+		Desc: "Epoch-mode readers racing a TryLock claim/retract/re-grant hammer",
+		run: func(rc runCtx) error {
+			return rwCase(rc, rwTryHeavy,
+				reactive.WithInitialReaderMode(reactive.ModeEpoch),
+				reactive.WithInitialMode(reactive.ModePark))
+		},
+	},
+	{
+		Name: "rwmutex/cancel-storm",
+		Desc: "Parked readers and writers abandoned by microsecond deadlines mid-drain",
+		run: func(rc runCtx) error {
+			return rwCase(rc, rwCancel,
+				reactive.WithInitialMode(reactive.ModePark),
+				reactive.WithPolicy(policy.NewHysteresis(2, 2)))
+		},
+	},
+	{
+		Name: "counter/conservation",
+		Desc: "Counter increment conservation while an always-switch policy churns modes",
+		run: func(rc runCtx) error {
+			// Start sharded: a CAS-mode Counter's Add is a bare atomic
+			// add that never detects contention, so it would sit in CAS
+			// forever; from sharded, the always-switch policy keeps the
+			// deposit/sweep chain in motion.
+			return counterCase(rc,
+				reactive.WithInitialMode(reactive.ModeSharded),
+				reactive.WithPolicy(policy.AlwaysSwitch{}))
+		},
+	},
+	{
+		Name: "fetchop/max-known-answer",
+		Desc: "Non-commutative-looking fold (max) must converge to the known answer",
+		run: func(rc runCtx) error {
+			return fetchOpMaxCase(rc,
+				reactive.WithInitialMode(reactive.ModeSharded),
+				reactive.WithSpinFailLimit(1), reactive.WithEmptyLimit(1))
+		},
+	},
+	{
+		Name: "fetchop/combining-churn",
+		Desc: "Combining-mode sum conservation against a storm of reconciling Value sweeps",
+		run: func(rc runCtx) error {
+			return fetchOpSumCase(rc,
+				reactive.WithInitialMode(reactive.ModeCombining),
+				reactive.WithPolicy(policy.NewWeightedAverage(64, 128)))
+		},
+	},
+}
+
+// mutexCase drives a Mutex with the full acquisition vocabulary and
+// verifies exclusion (two plain ints that must move in lockstep; the
+// race detector audits every access) and conservation (the plain
+// increment count must equal the atomically counted acquisitions).
+func mutexCase(rc runCtx, cancelHeavy bool, opts ...reactive.Option) error {
+	m := reactive.New(opts...)
+	var a, b int // written only while holding m; -race audits this claim
+	var acquired atomic.Int64
+	crit := func(stretch bool) {
+		a++
+		if stretch {
+			runtime.Gosched() // widen the torn-write window
+		}
+		b++
+		acquired.Add(1)
+	}
+	snap := func() string { return fmt.Sprintf("mutex: %+v", m.Stats()) }
+	err := fleet(rc, snap, func(id int, rng *prng) error {
+		for i := 0; i < rc.ops; i++ {
+			r := rng.intn(16)
+			if cancelHeavy && r < 10 {
+				r = 10 + r%4 // bias hard toward the deadline/cancel ops
+			}
+			switch {
+			case r < 8: // blocking Lock
+				m.Lock()
+				crit(r == 0)
+				m.Unlock()
+			case r < 10: // TryLock
+				if m.TryLock() {
+					crit(false)
+					m.Unlock()
+				}
+			case r < 12: // bounded wait
+				if m.TryLockFor(rng.µs(50)) {
+					crit(false)
+					m.Unlock()
+				}
+			case r < 14: // cancellation storm
+				ctx, cancel := context.WithTimeout(context.Background(), rng.µs(50))
+				if m.LockCtx(ctx) == nil {
+					crit(false)
+					m.Unlock()
+				}
+				cancel()
+			default:
+				runtime.Gosched()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if a != b {
+		return fmt.Errorf("exclusion broken: a=%d b=%d", a, b)
+	}
+	if int64(a) != acquired.Load() {
+		return fmt.Errorf("conservation broken: %d increments, %d acquisitions", a, acquired.Load())
+	}
+	return m.CheckInvariants()
+}
+
+// rwCase op mixes.
+const (
+	rwMixed    = iota // readers and writers in the usual 3:1 ratio
+	rwTryHeavy        // TryLock hammer against a reader majority
+	rwCancel          // everything deadline-bounded
+)
+
+// rwCase drives an RWMutex. Writers increment two plain ints with a
+// yield between them; readers assert the pair is never seen torn — an
+// exclusion violation is both a panic and a -race report.
+func rwCase(rc runCtx, mix int, opts ...reactive.Option) error {
+	rw := reactive.NewRWMutex(opts...)
+	var a, b int // written under Lock, read under RLock
+	var writes atomic.Int64
+	write := func() {
+		a++
+		runtime.Gosched()
+		b++
+		writes.Add(1)
+	}
+	read := func() error {
+		if a != b {
+			return fmt.Errorf("exclusion broken: reader saw a=%d b=%d", a, b)
+		}
+		return nil
+	}
+	snap := func() string { return fmt.Sprintf("rwmutex: %+v", rw.Stats()) }
+	err := fleet(rc, snap, func(id int, rng *prng) error {
+		for i := 0; i < rc.ops; i++ {
+			r := rng.intn(16)
+			switch mix {
+			case rwTryHeavy:
+				if r < 10 { // reader majority keeps the epoch gate busy
+					r = r % 3
+				} else {
+					r = 9 // TryLock
+				}
+			case rwCancel:
+				if r < 8 {
+					r = 4 // RLockCtx
+				} else {
+					r = 11 // LockCtx
+				}
+			}
+			switch {
+			case r < 3: // RLock
+				rw.RLock()
+				e := read()
+				rw.RUnlock()
+				if e != nil {
+					return e
+				}
+			case r < 4: // TryRLock
+				if rw.TryRLock() {
+					e := read()
+					rw.RUnlock()
+					if e != nil {
+						return e
+					}
+				}
+			case r < 6: // deadline-bounded read
+				ctx, cancel := context.WithTimeout(context.Background(), rng.µs(100))
+				var e error
+				if rw.RLockCtx(ctx) == nil {
+					e = read()
+					rw.RUnlock()
+				}
+				cancel()
+				if e != nil {
+					return e
+				}
+			case r < 9: // Lock
+				rw.Lock()
+				write()
+				rw.Unlock()
+			case r < 10: // TryLock
+				if rw.TryLock() {
+					write()
+					rw.Unlock()
+				}
+			case r < 12: // deadline-bounded write
+				ctx, cancel := context.WithTimeout(context.Background(), rng.µs(100))
+				if rw.LockCtx(ctx) == nil {
+					write()
+					rw.Unlock()
+				}
+				cancel()
+			default:
+				runtime.Gosched()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if a != b {
+		return fmt.Errorf("exclusion broken: a=%d b=%d", a, b)
+	}
+	if int64(a) != writes.Load() {
+		return fmt.Errorf("conservation broken: %d increments, %d writes", a, writes.Load())
+	}
+	return rw.CheckInvariants()
+}
+
+// counterCase verifies increment conservation: the Counter's final
+// value must equal the sum every worker knows it contributed, with
+// interleaved Loads forcing reconciling sweeps mid-storm.
+func counterCase(rc runCtx, opts ...reactive.Option) error {
+	c := reactive.NewCounter(opts...)
+	sums := make([]int64, rc.workers)
+	snap := func() string { return fmt.Sprintf("counter: %+v", c.Stats()) }
+	err := fleet(rc, snap, func(id int, rng *prng) error {
+		for i := 0; i < rc.ops; i++ {
+			d := int64(rng.intn(1000)) - 500
+			c.Add(d)
+			sums[id] += d
+			if rng.intn(32) == 0 {
+				c.Load() // force a reconciling sweep mid-storm
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var want int64
+	for _, s := range sums {
+		want += s
+	}
+	if got := c.Load(); got != want {
+		return fmt.Errorf("conservation broken: Load = %d, workers contributed %d", got, want)
+	}
+	return c.CheckInvariants()
+}
+
+// fetchOpMaxCase folds max over a deterministic value stream; the final
+// Value must be the maximum every worker saw, and intermediate Values
+// must be monotonically consistent (never exceeding the known answer).
+func fetchOpMaxCase(rc runCtx, opts ...reactive.Option) error {
+	f := reactive.NewFetchOp(func(x, y int64) int64 {
+		if x > y {
+			return x
+		}
+		return y
+	}, math.MinInt64, opts...)
+	maxes := make([]int64, rc.workers)
+	for i := range maxes {
+		maxes[i] = math.MinInt64
+	}
+	snap := func() string { return fmt.Sprintf("fetchop: %+v", f.Stats()) }
+	err := fleet(rc, snap, func(id int, rng *prng) error {
+		hi := int64(math.MinInt64)
+		for i := 0; i < rc.ops; i++ {
+			v := int64(rng.next() >> 1) // non-negative, full spread
+			f.Apply(v)
+			if v > hi {
+				hi = v
+			}
+			if rng.intn(16) == 0 {
+				f.Value() // reconciling sweeps race the deposits
+			}
+		}
+		maxes[id] = hi
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	want := int64(math.MinInt64)
+	for _, m := range maxes {
+		if m > want {
+			want = m
+		}
+	}
+	if got := f.Value(); got != want {
+		return fmt.Errorf("known answer broken: Value = %d, want %d", got, want)
+	}
+	return f.CheckInvariants()
+}
+
+// fetchOpSumCase is counterCase through the raw FetchOp API — an
+// explicit addition op, so reconciliation runs the general casFold path
+// rather than the Counter's Add fast path — with every worker both
+// depositing and sweeping, so combining-mode harvests constantly race
+// fresh deposits.
+func fetchOpSumCase(rc runCtx, opts ...reactive.Option) error {
+	f := reactive.NewFetchOp(func(x, y int64) int64 { return x + y }, 0, opts...)
+	sums := make([]int64, rc.workers)
+	snap := func() string { return fmt.Sprintf("fetchop: %+v", f.Stats()) }
+	err := fleet(rc, snap, func(id int, rng *prng) error {
+		for i := 0; i < rc.ops; i++ {
+			d := int64(rng.intn(256)) - 128
+			f.Apply(d)
+			sums[id] += d
+			if rng.intn(8) == 0 {
+				f.Value()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var want int64
+	for _, s := range sums {
+		want += s
+	}
+	if got := f.Value(); got != want {
+		return fmt.Errorf("conservation broken: Value = %d, workers contributed %d", got, want)
+	}
+	return f.CheckInvariants()
+}

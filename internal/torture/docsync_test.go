@@ -1,0 +1,79 @@
+package torture
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// experimentsDoc locates the repository-level EXPERIMENTS.md relative
+// to this package (the same layout assumption as the experiment
+// registry's and loadsvc's doc-sync tests).
+const experimentsDoc = "../../EXPERIMENTS.md"
+
+// caseRow matches a table row of the torture matrix whose first cell
+// is a backticked case name: | `mutex/flip-storm` | ... |
+var caseRow = regexp.MustCompile("^\\| *`([^`]+)` *\\|")
+
+// readCaseTable parses the "## Torture scenarios" section of
+// EXPERIMENTS.md and returns the case names its table documents, in
+// order.
+func readCaseTable(t *testing.T) []string {
+	t.Helper()
+	f, err := os.Open(filepath.FromSlash(experimentsDoc))
+	if err != nil {
+		t.Fatalf("EXPERIMENTS.md not readable: %v", err)
+	}
+	defer f.Close()
+
+	var names []string
+	inSection := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "## ") {
+			inSection = strings.HasPrefix(line, "## Torture scenarios")
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if m := caseRow.FindStringSubmatch(line); m != nil {
+			names = append(names, m[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestTortureScenarioTableInSync keeps EXPERIMENTS.md honest the way
+// TestLoadScenarioTableInSync does for the load matrix: every
+// registered torture case must have a row in the "## Torture
+// scenarios" table, in canonical (sorted) order, and every row must
+// name a real case.
+func TestTortureScenarioTableInSync(t *testing.T) {
+	documented := readCaseTable(t)
+	if len(documented) == 0 {
+		t.Fatal("EXPERIMENTS.md has no '## Torture scenarios' table rows")
+	}
+	registered := Cases()
+	if len(documented) != len(registered) {
+		var names []string
+		for _, c := range registered {
+			names = append(names, c.Name)
+		}
+		t.Fatalf("EXPERIMENTS.md documents %d cases, matrix has %d:\ndoc: %v\ngot: %v",
+			len(documented), len(registered), documented, names)
+	}
+	for i, c := range registered {
+		if documented[i] != c.Name {
+			t.Errorf("row %d: EXPERIMENTS.md says %q, matrix says %q (order is canonical)",
+				i, documented[i], c.Name)
+		}
+	}
+}

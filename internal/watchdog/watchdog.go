@@ -1,0 +1,88 @@
+// Package watchdog is the stranded-waiter detector shared by the load
+// harness (internal/loadsvc), the torture harness (internal/torture),
+// and stress tests: a bounded wait on a fleet's completion that, when
+// the bound trips, captures the evidence a hang post-mortem needs — a
+// full goroutine dump (the parked waiter's stack is the finding) and
+// any caller-supplied state snapshots (a primitive's Stats line, a
+// queue length) — instead of letting the process sit wedged until an
+// outer test timeout kills it with less context.
+//
+// It grew out of the inline guard loadsvc.Run carried; promoting it
+// makes the "blocked N after the work ended" diagnosis uniform across
+// every harness that parks goroutines on the primitives under test.
+package watchdog
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// dumpLimit bounds the goroutine dump attached to a trip report. 1 MiB
+// holds several hundred stacks — enough for any harness fleet — while
+// keeping a pathological dump from swamping the report.
+const dumpLimit = 1 << 20
+
+// Await waits for done to close, but no longer than d past the call: a
+// fleet whose work has ended (the caller closes done when the last
+// result arrives) should disband promptly, and a wait that outlives d
+// is declared a strand. On a trip, Await returns an error carrying
+// each snap's output (labelled, in order) and the goroutine dump; nil
+// means done closed in time. d <= 0 disables the bound and waits
+// forever.
+func Await(done <-chan struct{}, d time.Duration, snaps ...func() string) error {
+	if d <= 0 {
+		<-done
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-t.C:
+		return trip(d, snaps)
+	}
+}
+
+func trip(d time.Duration, snaps []func() string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "watchdog: still blocked %v after the work ended (stranded waiter?)", d)
+	for i, snap := range snaps {
+		s := safeSnap(snap)
+		fmt.Fprintf(&b, "\n-- snapshot %d --\n%s", i, s)
+	}
+	b.WriteString("\n-- goroutines --\n")
+	b.WriteString(Dump())
+	return fmt.Errorf("%s", b.String())
+}
+
+// safeSnap runs one snapshot function, converting a panic into a
+// report line: the watchdog fires exactly when shared state may be
+// wedged mid-operation, and a snapshot tripping over that state must
+// not lose the rest of the evidence.
+func safeSnap(snap func() string) (s string) {
+	defer func() {
+		if r := recover(); r != nil {
+			s = fmt.Sprintf("(snapshot panicked: %v)", r)
+		}
+	}()
+	return snap()
+}
+
+// Dump returns the all-goroutines stack dump, truncated to a bounded
+// size.
+func Dump() string {
+	buf := make([]byte, 64<<10)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return string(buf[:n])
+		}
+		if len(buf) >= dumpLimit {
+			return string(buf[:n]) + "\n... (dump truncated)"
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}

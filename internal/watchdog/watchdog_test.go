@@ -1,0 +1,49 @@
+package watchdog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAwaitReturnsNilWhenDoneCloses(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	if err := Await(done, time.Hour); err != nil {
+		t.Fatalf("Await on closed done: %v", err)
+	}
+}
+
+func TestAwaitUnboundedWaits(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(done)
+	}()
+	if err := Await(done, 0); err != nil {
+		t.Fatalf("unbounded Await: %v", err)
+	}
+}
+
+func TestAwaitTripCarriesEvidence(t *testing.T) {
+	done := make(chan struct{}) // never closed
+	err := Await(done, time.Millisecond,
+		func() string { return "primitive: mode=park waiters=3" },
+		func() string { panic("snapshot reads wedged state") },
+	)
+	if err == nil {
+		t.Fatal("Await did not trip")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"stranded waiter?",
+		"primitive: mode=park waiters=3",
+		"snapshot panicked: snapshot reads wedged state",
+		"-- goroutines --",
+		"TestAwaitTripCarriesEvidence", // this goroutine's frame is in the dump
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("trip report missing %q:\n%s", want, msg)
+		}
+	}
+}

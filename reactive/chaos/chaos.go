@@ -1,0 +1,53 @@
+// Package chaos is the public face of the fault-injection substrate in
+// reactive/internal/chaos: schedule derivation, activation, and the
+// point catalog, re-exported for the torture harness (internal/torture,
+// cmd/torture) and for external stress rigs. See the internal package
+// for the model — named fault points compiled to no-ops by default and
+// activated, under the reactive_chaos build tag, by a deterministic
+// per-seed Schedule whose JSON encoding is the replayable repro
+// artifact.
+package chaos
+
+import ichaos "repro/reactive/internal/chaos"
+
+// Built reports whether this binary was compiled with the
+// reactive_chaos build tag, i.e. whether Enable can actually inject
+// faults.
+const Built = ichaos.Built
+
+// Fault-point op names, as they appear in Rule.Op.
+const (
+	OpYield = ichaos.OpYield
+	OpSpin  = ichaos.OpSpin
+	OpSleep = ichaos.OpSleep
+)
+
+// Aliases for the schedule vocabulary; see the internal package for
+// field semantics.
+type (
+	Rule      = ichaos.Rule
+	Schedule  = ichaos.Schedule
+	PointStat = ichaos.PointStat
+)
+
+// Catalog returns the instrumented fault-point ids in canonical order.
+func Catalog() []string { return ichaos.Catalog() }
+
+// New derives the deterministic fault schedule for seed over the full
+// point catalog. Same seed, byte-identical Encode() output — in this
+// process or any other.
+func New(seed uint64) *Schedule { return ichaos.NewSchedule(seed, ichaos.Catalog()) }
+
+// Decode parses a schedule previously produced by (*Schedule).Encode.
+func Decode(b []byte) (*Schedule, error) { return ichaos.DecodeSchedule(b) }
+
+// Enable installs s as the active schedule and reports whether the
+// binary can honor it (false without the reactive_chaos build tag).
+func Enable(s *Schedule) bool { return ichaos.Enable(s) }
+
+// Disable removes the active schedule.
+func Disable() { ichaos.Disable() }
+
+// Stats reports per-point activity for the active (or most recent)
+// schedule; nil without the reactive_chaos build tag.
+func Stats() []PointStat { return ichaos.Stats() }

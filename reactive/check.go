@@ -1,0 +1,129 @@
+package reactive
+
+import "fmt"
+
+// This file is the runtime invariant layer: CheckInvariants methods
+// verifying, at quiescence, the structural properties each primitive's
+// correctness argument rests on. "At quiescence" means no goroutine is
+// inside any method of the primitive — the checks read multi-word state
+// without synchronizing against active fast paths, so a concurrent call
+// can report transient states (a parked waiter mid-handoff, a harvested
+// cell mid-fold) as violations. Tests and the torture harness
+// (internal/torture) call them after their worker fleets join; they are
+// diagnostic surface, not production code, and the fast paths never pay
+// for them.
+
+// CheckInvariants verifies the mutex's quiescent-state invariants: the
+// lock is free, no waiter is queued, the waiter queue is structurally
+// sound, and the modal engine's epoch agrees with its switch counter.
+// It returns the first violation found, or nil.
+func (m *Mutex) CheckInvariants() error {
+	if s := m.state.Load(); s != unlocked {
+		return fmt.Errorf("reactive: Mutex state %d at quiescence, want unlocked", s)
+	}
+	if n := m.q.Len(); n != 0 {
+		return fmt.Errorf("reactive: Mutex has %d queued waiters at quiescence", n)
+	}
+	if err := m.q.Check(); err != nil {
+		return fmt.Errorf("reactive: Mutex waiter queue: %w", err)
+	}
+	if err := m.eng.Check(spinParkTable); err != nil {
+		return fmt.Errorf("reactive: Mutex engine: %w", err)
+	}
+	return nil
+}
+
+// CheckInvariants verifies the RWMutex's quiescent-state invariants:
+// the embedded writer mutex is free and sound, no reader is registered
+// in any of the three registration structures (central count zero,
+// sharded slot deltas and epoch cell deltas both summing to zero), the
+// epoch gate carries no writer claim and its mode bit agrees with the
+// registration engine, and both waiter queues are empty and
+// structurally sound. It returns the first violation found, or nil.
+func (rw *RWMutex) CheckInvariants() error {
+	if err := rw.w.CheckInvariants(); err != nil {
+		return fmt.Errorf("reactive: RWMutex writer mutex: %w", err)
+	}
+	if r := rw.readerCount.Load(); r != 0 {
+		return fmt.Errorf("reactive: RWMutex readerCount %d at quiescence, want 0", r)
+	}
+	// Raw delta sums, not slotSum/epochSum: those run under a writer
+	// claim and treat a negative sum as caller misuse; here any nonzero
+	// residue — positive or negative — is the violation.
+	if rw.slotsUp.Load() {
+		var sum int64
+		for i := range rw.slots {
+			sum += rw.slots[i].N.Load()
+		}
+		if sum != 0 {
+			return fmt.Errorf("reactive: RWMutex sharded slot deltas sum to %d at quiescence, want 0", sum)
+		}
+	}
+	g := rw.rgate.Load()
+	if rw.ecellsUp.Load() {
+		var sum int64
+		for i := range rw.ecells {
+			sum += rw.ecells[i].Cnt.Load()
+		}
+		if sum != 0 {
+			return fmt.Errorf("reactive: RWMutex epoch cell deltas sum to %d at quiescence, want 0", sum)
+		}
+	}
+	if g&rgClaim != 0 {
+		return fmt.Errorf("reactive: RWMutex epoch gate carries a writer claim at quiescence (gate %#x)", uint64(g))
+	}
+	if gateEpoch, engEpoch := g&rgEpoch != 0, rw.reng.Mode() == rEpoch; gateEpoch != engEpoch {
+		return fmt.Errorf("reactive: RWMutex epoch gate mode bit %v disagrees with registration mode %d", gateEpoch, rw.reng.Mode())
+	}
+	for _, q := range []struct {
+		name string
+		q    interface {
+			Len() int
+			Check() error
+		}
+	}{{"reader queue", &rw.rq}, {"writer-drain queue", &rw.wq}} {
+		if n := q.q.Len(); n != 0 {
+			return fmt.Errorf("reactive: RWMutex %s has %d waiters at quiescence", q.name, n)
+		}
+		if err := q.q.Check(); err != nil {
+			return fmt.Errorf("reactive: RWMutex %s: %w", q.name, err)
+		}
+	}
+	if err := rw.eng.Check(spinParkTable); err != nil {
+		return fmt.Errorf("reactive: RWMutex wait engine: %w", err)
+	}
+	if err := rw.reng.Check(readerShardTable); err != nil {
+		return fmt.Errorf("reactive: RWMutex registration engine: %w", err)
+	}
+	return nil
+}
+
+// CheckInvariants verifies the accumulator's quiescent-state
+// invariants: the sweep lock is free, no reader is parked on the sweep
+// window, and the modal engine's epoch agrees with its switch counter.
+// (Cell contents are NOT required to be empty — deposits legitimately
+// rest in cells until the next reconciling sweep; Value is the
+// correctness check for them.) It returns the first violation found,
+// or nil.
+func (f *FetchOp) CheckInvariants() error {
+	if l := f.sweepLock.Load(); l != 0 {
+		return fmt.Errorf("reactive: FetchOp sweep lock held at quiescence")
+	}
+	if n := f.vq.Len(); n != 0 {
+		return fmt.Errorf("reactive: FetchOp has %d sweep waiters at quiescence", n)
+	}
+	if err := f.vq.Check(); err != nil {
+		return fmt.Errorf("reactive: FetchOp sweep queue: %w", err)
+	}
+	if err := f.eng.Check(fopTable); err != nil {
+		return fmt.Errorf("reactive: FetchOp engine: %w", err)
+	}
+	if f.pending.Load() < 0 {
+		return fmt.Errorf("reactive: FetchOp pending count %d, want >= 0", f.pending.Load())
+	}
+	return nil
+}
+
+// CheckInvariants verifies the counter's quiescent-state invariants;
+// see FetchOp.CheckInvariants.
+func (c *Counter) CheckInvariants() error { return c.f.CheckInvariants() }

@@ -1,0 +1,145 @@
+package reactive
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The invariant checkers must hold on fresh primitives, keep holding
+// after real concurrent use, and actually fire on corrupted state —
+// a checker that cannot fail verifies nothing.
+
+func TestMutexCheckInvariants(t *testing.T) {
+	var m Mutex
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("fresh: %v", err)
+	}
+
+	m.Lock()
+	if err := m.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "state") {
+		t.Fatalf("held lock not caught: %v", err)
+	}
+	m.Unlock()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Lock()
+				m.Unlock() //nolint:staticcheck // empty section on purpose
+			}
+		}()
+	}
+	wg.Wait()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("after contention: %v", err)
+	}
+}
+
+func TestRWMutexCheckInvariants(t *testing.T) {
+	for _, mode := range []Mode{ModeCAS, ModeSharded, ModeEpoch} {
+		rw := NewRWMutex(WithInitialReaderMode(mode))
+		if err := rw.CheckInvariants(); err != nil {
+			t.Fatalf("%v fresh: %v", mode, err)
+		}
+
+		rw.RLock()
+		err := rw.CheckInvariants()
+		if mode == ModeCAS {
+			if err == nil || !strings.Contains(err.Error(), "readerCount") {
+				t.Fatalf("%v held read lock not caught: %v", mode, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), "deltas sum") {
+			t.Fatalf("%v held read lock not caught: %v", mode, err)
+		}
+		rw.RUnlock()
+
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					rw.RLock()
+					rw.RUnlock()
+					if i%10 == 0 {
+						rw.Lock()
+						rw.Unlock()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := rw.CheckInvariants(); err != nil {
+			t.Fatalf("%v after contention: %v", mode, err)
+		}
+	}
+}
+
+func TestRWMutexCheckCatchesGateSkew(t *testing.T) {
+	rw := NewRWMutex(WithInitialReaderMode(ModeEpoch))
+	rw.RLock() // force the cells up
+	rw.RUnlock()
+	g := rw.rgate.Load()
+	rw.rgate.Store(g &^ rgEpoch) // mode bit off while the engine says epoch
+	if err := rw.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "mode bit") {
+		t.Fatalf("gate/engine skew not caught: %v", err)
+	}
+	rw.rgate.Store(g | rgClaim)
+	if err := rw.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "claim") {
+		t.Fatalf("stale claim not caught: %v", err)
+	}
+	rw.rgate.Store(g)
+	if err := rw.CheckInvariants(); err != nil {
+		t.Fatalf("restored: %v", err)
+	}
+}
+
+func TestFetchOpAndCounterCheckInvariants(t *testing.T) {
+	c := NewCounter()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("fresh counter: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*500 {
+		t.Fatalf("count %d, want %d", got, 8*500)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("after contention: %v", err)
+	}
+
+	c.f.sweepLock.Store(1)
+	if err := c.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "sweep lock") {
+		t.Fatalf("held sweep lock not caught: %v", err)
+	}
+	c.f.sweepLock.Store(0)
+
+	f := NewFetchOp(func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}, 0)
+	f.Apply(41)
+	f.Apply(7)
+	if got := f.Value(); got != 41 {
+		t.Fatalf("max = %d, want 41", got)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("fetchop after use: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/reactive/internal/affinity"
+	"repro/reactive/internal/chaos"
 	"repro/reactive/internal/waitq"
 	"repro/reactive/modal"
 )
@@ -104,6 +105,14 @@ type FetchOp struct {
 	// cancellable wait (ValueCtx).
 	sweepLock atomic.Uint32
 	vq        waitq.Queue
+
+	// rescue banks operands a panicking user op stranded mid-fold:
+	// foldCells harvests cell values destructively (Swap), so if op or
+	// comb panics between a harvest and its fold into base, the
+	// harvested values would otherwise vanish from the accumulator.
+	// Guarded by sweepLock; drained at the start of the next fold, so
+	// once the op heals no operand is lost.
+	rescue []int64
 
 	cfg config
 }
@@ -264,6 +273,7 @@ func (f *FetchOp) applyCell(x int64) {
 // batch and no dedicated combiner thread exists.
 func (f *FetchOp) applyCombining(x int64) {
 	f.applyCell(x)
+	chaos.Point("fetchop.combine.deposit")
 	if f.pending.Add(1) >= f.combineBatch() && f.sweepLock.CompareAndSwap(0, 1) {
 		n := func() int64 {
 			// Released by defer so a panicking user op inside the fold
@@ -293,21 +303,45 @@ func (f *FetchOp) combineBatch() int64 {
 // reading base would miss them.
 func (f *FetchOp) foldCells() (active int) {
 	cells := f.shardCells()
-	moved := f.id
-	any := false
+	// Harvest first — the rescue bank (operands stranded by a previous
+	// fold whose user op panicked), then the cells. Folding is deferred
+	// until everything harvested is in vals so a panicking op can bank
+	// the lot.
+	vals := f.rescue
+	f.rescue = nil
 	for i := range cells {
 		if v := cells[i].N.Swap(f.id); v != f.id {
-			moved = f.comb(moved, v)
+			vals = append(vals, v)
 			active++
-			any = true
 		}
 	}
-	if any {
-		if f.op == nil {
-			f.base.Add(moved)
-		} else {
-			casFold(&f.base, f.op, moved)
+	chaos.Point("fetchop.fold.harvest")
+	if len(vals) == 0 {
+		return active
+	}
+	// From here the harvested values exist only in this frame: if the
+	// user op panics, bank the partial accumulator and every operand
+	// not yet folded into base, then re-raise. The caller's deferred
+	// releaseSweep frees the lock, and the next sweep drains the bank,
+	// so a panicking op forfeits nothing but its own call.
+	idx, moved := 0, f.id
+	defer func() {
+		if r := recover(); r != nil {
+			if idx > 0 {
+				f.rescue = append(f.rescue, moved)
+			}
+			f.rescue = append(f.rescue, vals[idx:]...)
+			panic(r)
 		}
+	}()
+	for idx < len(vals) {
+		moved = f.comb(moved, vals[idx])
+		idx++
+	}
+	if f.op == nil {
+		f.base.Add(moved)
+	} else {
+		casFold(&f.base, f.op, moved)
 	}
 	return active
 }
@@ -379,6 +413,7 @@ func (f *FetchOp) acquireSweep(ctx context.Context, done <-chan struct{}) error 
 // oldest parked waiter, if any.
 func (f *FetchOp) releaseSweep() {
 	f.sweepLock.Store(0)
+	chaos.Point("fetchop.sweep.release")
 	f.vq.Grant()
 }
 
@@ -429,6 +464,7 @@ func (f *FetchOp) value(ctx context.Context, done <-chan struct{}) (int64, error
 		return 0, err
 	}
 	defer f.releaseSweep()
+	chaos.Point("fetchop.value.sweep")
 	n := f.pending.Swap(0)
 	active := f.foldCells()
 	sum := f.base.Load()

@@ -1,0 +1,254 @@
+// Package chaos is the deterministic fault-injection substrate behind
+// the torture harness (internal/torture, cmd/torture). The primitives in
+// package reactive are instrumented with named fault points —
+// chaos.Point(id) and chaos.PinnedPoint(id) calls placed at exactly the
+// proof-critical interleaving windows their correctness arguments reason
+// about (the instant between a waitq announce and its state re-check,
+// between a slot deposit and its gate validation, between a cell harvest
+// and its fold into the base word, ...). By default the hooks are empty
+// functions the compiler inlines away: a build without the
+// reactive_chaos tag carries zero overhead, verified by the package's
+// zero-allocation pins and the benchcmp gate.
+//
+// Under the reactive_chaos build tag the hooks consult an active
+// Schedule: a pure function of a 64-bit seed mapping every cataloged
+// point to an action (yield the processor, spin a bounded number of
+// iterations, or sleep a bounded duration) fired on a deterministic
+// subsequence of that point's hits. Two processes given the same seed
+// build byte-identical schedules, so a torture failure is reproducible
+// from its seed alone — the schedule (not the OS-level interleaving,
+// which no userspace harness controls) is the deterministic object, and
+// replaying it re-opens the same racy windows with the same bias.
+//
+// The catalog of instrumented points is a package-level table kept in
+// lockstep with the source by a sync test that scans package reactive
+// for hook calls, so a schedule always covers every window and the
+// DESIGN.md point inventory cannot rot.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Instrumented point ids, grouped by layer. The const names exist so
+// instrumentation sites and tests share one spelling; the catalog below
+// is the canonical ordered list a Schedule is generated over.
+const (
+	// waitq: the announce/grant/abandon triangle of the
+	// handoff-or-abandon proof (DESIGN.md §5).
+	PtWaitqPush    = "waitq.push.enter"
+	PtWaitqGrant   = "waitq.grant.enter"
+	PtWaitqAbandon = "waitq.abandon.enter"
+
+	// modal: the consensus window between reading the epoch-packed mode
+	// word and the commit CAS.
+	PtModalCommit = "modal.commit.window"
+
+	// Mutex: a parked waiter's announce-to-recheck window, and the
+	// unlock-to-grant window the no-lost-wakeup argument closes.
+	PtMutexParkAnnounced = "mutex.park.announced"
+	PtMutexUnlockRelease = "mutex.unlock.release"
+
+	// RWMutex: the deposit/stamp-to-gate-validation windows of the
+	// sharded and epoch registration proofs (DESIGN.md §4, §8), the
+	// writer's claim-to-sweep window, and the three undo paths that
+	// retract a claim.
+	PtRWShardedDeposit = "rwmutex.sharded.deposit"
+	PtRWShardedUndo    = "rwmutex.sharded.undo"
+	PtRWEpochStamp     = "rwmutex.epoch.stamp"
+	PtRWEpochOffline   = "rwmutex.epoch.offline"
+	PtRWWriterClaimed  = "rwmutex.writer.claimed"
+	PtRWDrainUndo      = "rwmutex.drain.undo"
+	PtRWTryLockUndo    = "rwmutex.trylock.undo"
+	PtRWUnlockRelease  = "rwmutex.unlock.release"
+
+	// FetchOp: the combining deposit-to-threshold window, the
+	// harvested-but-unfolded window the single sweepLock exists for, the
+	// reconciling sweep itself, and the release-to-grant handoff.
+	PtFopCombineDeposit = "fetchop.combine.deposit"
+	PtFopFoldHarvest    = "fetchop.fold.harvest"
+	PtFopValueSweep     = "fetchop.value.sweep"
+	PtFopSweepRelease   = "fetchop.sweep.release"
+)
+
+// catalog is the canonical ordered list of instrumented fault points. A
+// Schedule derives one rule per entry, in this order, so schedule bytes
+// are a pure function of the seed. Order is alphabetical for stability;
+// the sync test enforces that the set matches the hook calls compiled
+// into package reactive.
+var catalog = func() []string {
+	pts := []string{
+		PtWaitqPush, PtWaitqGrant, PtWaitqAbandon,
+		PtModalCommit,
+		PtMutexParkAnnounced, PtMutexUnlockRelease,
+		PtRWShardedDeposit, PtRWShardedUndo,
+		PtRWEpochStamp, PtRWEpochOffline,
+		PtRWWriterClaimed, PtRWDrainUndo, PtRWTryLockUndo, PtRWUnlockRelease,
+		PtFopCombineDeposit, PtFopFoldHarvest, PtFopValueSweep, PtFopSweepRelease,
+	}
+	sort.Strings(pts)
+	return pts
+}()
+
+// Catalog returns the instrumented fault-point ids in canonical
+// (sorted) order.
+func Catalog() []string { return append([]string(nil), catalog...) }
+
+// Fault-point ops. A rule's Op says what firing the point does; every
+// op is bounded so no schedule can stall a run indefinitely.
+const (
+	// OpYield calls runtime.Gosched Arg times (1..maxYields): the
+	// scheduler is invited to run somebody else inside the window.
+	OpYield = "yield"
+	// OpSpin busy-spins Arg iterations (1..maxSpin): the window is
+	// widened without giving up the processor — the only op safe while
+	// the caller holds a procPin (PinnedPoint demotes the others to it).
+	OpSpin = "spin"
+	// OpSleep sleeps Arg microseconds (1..maxSleepUs): the window is
+	// held open across whole scheduler quanta, the bias that surfaces
+	// lost-wakeup and stale-claim interleavings.
+	OpSleep = "sleep"
+)
+
+// Bounds on rule parameters; NewSchedule stays inside them and Enable
+// clamps loaded (replayed) schedules to them, so a hand-edited artifact
+// cannot turn a fault point into a hang.
+const (
+	maxYields  = 8
+	maxSpin    = 4096
+	maxSleepUs = 200
+	maxEvery   = 16
+)
+
+// A Rule maps one fault point to its action: fire Op(Arg) on every
+// hit h (a per-point counter) with h % Every == Phase.
+type Rule struct {
+	Point string `json:"point"`
+	Op    string `json:"op"`
+	// Every and Phase select the deterministic subsequence of hits that
+	// fire: hit indices congruent to Phase mod Every. Every=1 fires on
+	// every hit.
+	Every uint32 `json:"every"`
+	Phase uint32 `json:"phase"`
+	// Arg parameterizes the op: yields, spin iterations, or microseconds.
+	Arg uint32 `json:"arg"`
+}
+
+// A Schedule is one deterministic fault assignment: a rule per cataloged
+// point, derived from Seed by NewSchedule. Its JSON encoding is the
+// repro-artifact payload cmd/torture emits and replays; two invocations
+// of NewSchedule with one seed produce byte-identical encodings.
+type Schedule struct {
+	Seed  uint64 `json:"seed"`
+	Rules []Rule `json:"rules"`
+}
+
+// splitmix64 is the seed-expansion PRNG (Vigna's SplitMix64): one
+// self-contained step function, so schedule derivation depends on
+// nothing but this file.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewSchedule derives the deterministic fault schedule for seed over
+// points (normally Catalog(); torture cases pass it verbatim so the
+// whole catalog is always covered). The derivation consumes the PRNG
+// stream in point order, so the schedule is a pure function of
+// (seed, points) — byte-identical across invocations and processes.
+func NewSchedule(seed uint64, points []string) *Schedule {
+	s := &Schedule{Seed: seed, Rules: make([]Rule, 0, len(points))}
+	x := seed
+	for _, p := range points {
+		r := Rule{Point: p}
+		switch splitmix64(&x) % 10 {
+		case 0, 1, 2, 3: // 40%
+			r.Op = OpYield
+			r.Arg = 1 + uint32(splitmix64(&x)%maxYields)
+		case 4, 5, 6: // 30%
+			r.Op = OpSpin
+			r.Arg = 64 + uint32(splitmix64(&x)%(maxSpin-64))
+		default: // 30%
+			r.Op = OpSleep
+			r.Arg = 1 + uint32(splitmix64(&x)%maxSleepUs)
+		}
+		// Power-of-two firing periods up to maxEvery, with a random
+		// phase so two points with the same period fire on different
+		// hits.
+		r.Every = 1 << (splitmix64(&x) % 5) // 1,2,4,8,16
+		r.Phase = uint32(splitmix64(&x) % uint64(r.Every))
+		s.Rules = append(s.Rules, r)
+	}
+	return s
+}
+
+// Encode renders the schedule as indented JSON — the canonical byte
+// form the determinism guarantee is stated over.
+func (s *Schedule) Encode() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// DecodeSchedule parses a schedule previously produced by Encode (or
+// hand-edited: Enable clamps parameters back into bounds).
+func DecodeSchedule(b []byte) (*Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("chaos: decoding schedule: %w", err)
+	}
+	// Clamp here as well as in Enable, so a decoded artifact is bounded
+	// even when it is only carried around (re-encoded, diffed, logged)
+	// rather than armed.
+	for i := range s.Rules {
+		s.Rules[i] = s.Rules[i].clamp()
+	}
+	return &s, nil
+}
+
+// clamp bounds one rule's parameters (replayed artifacts may have been
+// hand-edited; injection must stay bounded).
+func (r Rule) clamp() Rule {
+	switch r.Op {
+	case OpYield:
+		if r.Arg < 1 {
+			r.Arg = 1
+		}
+		if r.Arg > maxYields {
+			r.Arg = maxYields
+		}
+	case OpSpin:
+		if r.Arg < 1 {
+			r.Arg = 1
+		}
+		if r.Arg > maxSpin {
+			r.Arg = maxSpin
+		}
+	case OpSleep:
+		if r.Arg < 1 {
+			r.Arg = 1
+		}
+		if r.Arg > maxSleepUs {
+			r.Arg = maxSleepUs
+		}
+	}
+	if r.Every < 1 {
+		r.Every = 1
+	}
+	if r.Every > maxEvery {
+		r.Every = maxEvery
+	}
+	r.Phase %= r.Every
+	return r
+}
+
+// PointStat is one fault point's activity under the currently (or most
+// recently) enabled schedule.
+type PointStat struct {
+	Point string `json:"point"`
+	Hits  uint64 `json:"hits"`
+	Fired uint64 `json:"fired"`
+}

@@ -1,0 +1,147 @@
+//go:build reactive_chaos
+
+package chaos
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Built reports whether this binary carries the fault-injection
+// machinery. This is the reactive_chaos build: hooks are live and
+// consult the active schedule.
+const Built = true
+
+// rule is one compiled schedule entry: the immutable parameters plus
+// the per-point hit counters.
+type rule struct {
+	op           string
+	every, phase uint32
+	arg          uint32
+
+	hits  atomic.Uint64
+	fired atomic.Uint64
+}
+
+// state is one enabled schedule. Swapped atomically as a unit so a
+// Point racing Enable/Disable sees either the whole old schedule or the
+// whole new one.
+type state struct {
+	rules map[string]*rule
+	order []string // catalog order, for Stats
+}
+
+var active atomic.Pointer[state]
+
+// Enable installs s as the active schedule (replacing any previous one)
+// and reports true: from here every instrumented fast path consults its
+// rule. Rules are clamped back into the package bounds so a replayed,
+// possibly hand-edited artifact cannot inject an unbounded stall.
+func Enable(s *Schedule) bool {
+	st := &state{rules: make(map[string]*rule, len(s.Rules))}
+	for _, r := range s.Rules {
+		r = r.clamp()
+		if _, dup := st.rules[r.Point]; dup {
+			continue
+		}
+		st.rules[r.Point] = &rule{op: r.Op, every: r.Every, phase: r.Phase, arg: r.Arg}
+		st.order = append(st.order, r.Point)
+	}
+	active.Store(st)
+	return true
+}
+
+// Disable removes the active schedule; instrumented paths return to
+// single-load no-ops. The last schedule's counters remain readable
+// through Stats until the next Enable.
+func Disable() { active.Store(nil) }
+
+var lastStats atomic.Pointer[state]
+
+// Point is a fault point: if the active schedule has a rule for id and
+// this hit is on the rule's firing subsequence, the rule's op runs —
+// a yield, a bounded spin, or a bounded sleep — holding the caller's
+// racy window open. Unknown ids (a schedule narrower than the catalog)
+// cost one map lookup.
+func Point(id string) {
+	st := active.Load()
+	if st == nil {
+		return
+	}
+	st.fire(id, false)
+}
+
+// PinnedPoint is a fault point on a code path that may hold a procPin
+// (preemption disabled): yields and sleeps are demoted to bounded spins,
+// the only injection legal in that state — Gosched or a timer park while
+// pinned is a runtime fatal error.
+func PinnedPoint(id string) {
+	st := active.Load()
+	if st == nil {
+		return
+	}
+	st.fire(id, true)
+}
+
+// spinSink defeats dead-code elimination of the spin loop.
+var spinSink atomic.Uint64
+
+func (st *state) fire(id string, pinned bool) {
+	r := st.rules[id]
+	if r == nil {
+		return
+	}
+	lastStats.Store(st)
+	h := r.hits.Add(1) - 1
+	if uint32(h%uint64(r.every)) != r.phase {
+		return
+	}
+	r.fired.Add(1)
+	op, arg := r.op, r.arg
+	if pinned && op != OpSpin {
+		// Demote to a spin of comparable weight: yields become short
+		// spins, sleeps long ones.
+		op = OpSpin
+		if r.op == OpSleep {
+			arg = maxSpin
+		} else {
+			arg = 256 * arg
+		}
+	}
+	switch op {
+	case OpYield:
+		for i := uint32(0); i < arg; i++ {
+			runtime.Gosched()
+		}
+	case OpSpin:
+		var s uint64
+		for i := uint32(0); i < arg; i++ {
+			s += uint64(i)
+		}
+		spinSink.Add(s)
+	case OpSleep:
+		time.Sleep(time.Duration(arg) * time.Microsecond)
+	}
+}
+
+// Stats reports per-point activity (hits and fired injections) for the
+// active schedule — or, after Disable, for the last schedule that saw a
+// hit — in the schedule's rule order. Torture runs attach it to repro
+// artifacts so a reproduction can be checked against the original's
+// injection profile.
+func Stats() []PointStat {
+	st := active.Load()
+	if st == nil {
+		st = lastStats.Load()
+	}
+	if st == nil {
+		return nil
+	}
+	out := make([]PointStat, 0, len(st.order))
+	for _, id := range st.order {
+		r := st.rules[id]
+		out = append(out, PointStat{Point: id, Hits: r.hits.Load(), Fired: r.fired.Load()})
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+//go:build reactive_chaos
+
+package chaos
+
+import "testing"
+
+// TestPointFiresOnSchedule exercises the live hooks: with a rule of
+// period Every and phase Phase, exactly the congruent hits fire.
+func TestPointFiresOnSchedule(t *testing.T) {
+	defer Disable()
+	s := &Schedule{Seed: 7, Rules: []Rule{
+		{Point: "t.always", Op: OpSpin, Every: 1, Phase: 0, Arg: 8},
+		{Point: "t.fourth", Op: OpYield, Every: 4, Phase: 1, Arg: 1},
+	}}
+	if !Enable(s) {
+		t.Fatal("Enable reported false under reactive_chaos")
+	}
+	for i := 0; i < 16; i++ {
+		Point("t.always")
+		Point("t.fourth")
+		Point("t.unknown") // not in the schedule: must be inert
+	}
+	stats := map[string]PointStat{}
+	for _, ps := range Stats() {
+		stats[ps.Point] = ps
+	}
+	if got := stats["t.always"]; got.Hits != 16 || got.Fired != 16 {
+		t.Errorf("t.always: %+v, want 16 hits / 16 fired", got)
+	}
+	if got := stats["t.fourth"]; got.Hits != 16 || got.Fired != 4 {
+		t.Errorf("t.fourth: %+v, want 16 hits / 4 fired", got)
+	}
+	if _, ok := stats["t.unknown"]; ok {
+		t.Error("unknown point acquired stats")
+	}
+}
+
+// TestPinnedPointDemotesToSpin: a pinned hook must never yield or
+// sleep; the demotion path is exercised by firing sleep and yield rules
+// through PinnedPoint. (Correct behavior here is "completes without a
+// scheduler call" — not directly observable, but the run would crash
+// under a real procPin if it parked, and the fired counters prove the
+// demoted ops executed.)
+func TestPinnedPointDemotesToSpin(t *testing.T) {
+	defer Disable()
+	Enable(&Schedule{Seed: 1, Rules: []Rule{
+		{Point: "t.sleep", Op: OpSleep, Every: 1, Phase: 0, Arg: 50},
+		{Point: "t.yield", Op: OpYield, Every: 1, Phase: 0, Arg: 4},
+	}})
+	for i := 0; i < 4; i++ {
+		PinnedPoint("t.sleep")
+		PinnedPoint("t.yield")
+	}
+	for _, ps := range Stats() {
+		if ps.Fired != 4 {
+			t.Errorf("%s: fired %d, want 4", ps.Point, ps.Fired)
+		}
+	}
+}
+
+// TestDisableQuiesces: after Disable, hooks are inert and Stats still
+// reports the last schedule's counters.
+func TestDisableQuiesces(t *testing.T) {
+	Enable(&Schedule{Seed: 1, Rules: []Rule{{Point: "t.p", Op: OpSpin, Every: 1, Phase: 0, Arg: 1}}})
+	Point("t.p")
+	Disable()
+	Point("t.p") // inert
+	st := Stats()
+	if len(st) != 1 || st[0].Hits != 1 {
+		t.Fatalf("post-Disable stats = %+v, want the pre-Disable hit only", st)
+	}
+}

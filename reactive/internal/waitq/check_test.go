@@ -1,0 +1,65 @@
+package waitq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckOnLiveQueue(t *testing.T) {
+	var q Queue
+	if err := q.Check(); err != nil {
+		t.Fatalf("empty queue: %v", err)
+	}
+	ws := make([]*Waiter, 3)
+	for i := range ws {
+		ws[i] = Get()
+		q.Push(ws[i])
+	}
+	if err := q.Check(); err != nil {
+		t.Fatalf("queue of 3: %v", err)
+	}
+	q.Grant()
+	<-ws[0].Ready()
+	q.Abandon(ws[1])
+	if err := q.Check(); err != nil {
+		t.Fatalf("after grant+abandon: %v", err)
+	}
+	q.Abandon(ws[2])
+	for _, w := range ws {
+		Put(w)
+	}
+	if err := q.Check(); err != nil {
+		t.Fatalf("drained queue: %v", err)
+	}
+}
+
+func TestCheckCatchesLengthMirrorSkew(t *testing.T) {
+	var q Queue
+	w := Get()
+	q.Push(w)
+	q.n.Add(1) // corrupt the mirror
+	err := q.Check()
+	if err == nil || !strings.Contains(err.Error(), "length mirror") {
+		t.Fatalf("skewed mirror not caught: %v", err)
+	}
+	q.n.Add(-1)
+	q.Abandon(w)
+	Put(w)
+}
+
+func TestCheckCatchesBrokenBackLink(t *testing.T) {
+	var q Queue
+	a, b := Get(), Get()
+	q.Push(a)
+	q.Push(b)
+	b.prev = nil // corrupt the back link
+	err := q.Check()
+	if err == nil || !strings.Contains(err.Error(), "prev") {
+		t.Fatalf("broken back link not caught: %v", err)
+	}
+	b.prev = a
+	q.Abandon(b)
+	q.Abandon(a)
+	Put(a)
+	Put(b)
+}

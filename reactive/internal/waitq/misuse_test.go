@@ -1,0 +1,56 @@
+package waitq
+
+import "testing"
+
+// The waiter-lifecycle panics guard the pool and FIFO against
+// use-after-wait bugs in the primitives; their messages are pinned so a
+// crash log identifies the violated rule exactly.
+func TestWaiterMisusePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+		f    func()
+	}{
+		{"put of queued waiter", "waitq: Put of a Waiter whose wait has not ended", func() {
+			var q Queue
+			w := Get()
+			q.Push(w)
+			defer func() { // leave the queue consistent for the pool
+				recover()
+				q.Abandon(w)
+				Put(w)
+				panic("waitq: Put of a Waiter whose wait has not ended")
+			}()
+			Put(w)
+		}},
+		{"re-push of queued waiter", "waitq: Push of a Waiter whose previous wait has not ended", func() {
+			var q Queue
+			w := Get()
+			q.Push(w)
+			defer func() {
+				recover()
+				q.Abandon(w)
+				Put(w)
+				panic("waitq: Push of a Waiter whose previous wait has not ended")
+			}()
+			q.Push(w)
+		}},
+		{"abandon of idle waiter", "waitq: Abandon of a Waiter that is not waiting", func() {
+			var q Queue
+			w := Get()
+			defer Put(w)
+			q.Abandon(w)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if got, ok := r.(string); !ok || got != tc.want {
+					t.Fatalf("panicked with %v, want %q", r, tc.want)
+				}
+			}()
+			tc.f()
+		})
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/reactive/internal/chaos"
 	"repro/reactive/modal"
 )
 
@@ -110,6 +111,7 @@ func (q *Queue) Len() int { return int(q.n.Load()) }
 // w.Ready, and must eventually end the wait by consuming the token or by
 // calling Abandon.
 func (q *Queue) Push(w *Waiter) {
+	chaos.Point("waitq.push.enter")
 	q.acquire()
 	// stateGranted with an empty channel is a consumed grant — a normal
 	// re-Push after a wakeup; only a still-queued node or an unconsumed
@@ -157,6 +159,7 @@ func (q *Queue) Grant() bool {
 	if q.n.Load() == 0 {
 		return false
 	}
+	chaos.Point("waitq.grant.enter")
 	q.acquire()
 	w := q.head
 	if w == nil {
@@ -201,6 +204,7 @@ func (q *Queue) GrantAll() int {
 // returning false. Either way w's wait has fully ended on return and w may
 // be re-Pushed or Put back in the pool.
 func (q *Queue) Abandon(w *Waiter) bool {
+	chaos.Point("waitq.abandon.enter")
 	q.acquire()
 	switch w.state {
 	case stateQueued:

@@ -1,0 +1,71 @@
+package modal
+
+import "testing"
+
+// FuzzEngineTransitions drives an Engine with an arbitrary stream of
+// detection events and commit attempts over a 3-mode chain (the shape
+// FetchOp and the RWMutex reader registration use) and verifies the
+// consensus invariants against a model after every step: exactly the
+// attempts made in the current mode commit, the epoch counts committed
+// switches, and the built-in streaks reset on every commit (Vote fires
+// at its limit, immediately after a switch it never does).
+func FuzzEngineTransitions(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2})  // hammer one commit edge
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})        // vote to the limit
+	f.Add([]byte{0, 2, 1, 5, 3, 8, 6, 11, 9, 2, 0, 2}) // walk the chain
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tab := NewTable(3, []Transition{
+			{From: 0, To: 1}, {From: 1, To: 0},
+			{From: 1, To: 2}, {From: 2, To: 1},
+		})
+		edges := tab.Transitions()
+		const limit = 3
+		var e Engine
+
+		mode := Mode(0)           // model mode
+		var switches uint64       // model switch count
+		streak := map[int]int32{} // model per-edge sub-optimal streaks
+
+		for _, b := range ops {
+			ei := int(b) % len(edges)
+			ed := edges[ei]
+			switch op := int(b) / len(edges) % 3; op {
+			case 0: // Vote
+				streak[ei]++
+				want := streak[ei] >= limit
+				if got := e.Vote(tab, ed.From, ed.To, limit); got != want {
+					t.Fatalf("Vote(%d→%d) = %v, model streak %d/%d", ed.From, ed.To, got, streak[ei], limit)
+				}
+			case 1: // Good
+				streak[ei] = 0
+				e.Good(tab, ed.From, ed.To)
+			case 2: // TryCommit
+				want := mode == ed.From
+				if got := e.TryCommit(tab, ed.From, ed.To); got != want {
+					t.Fatalf("TryCommit(%d→%d) = %v in mode %d", ed.From, ed.To, got, mode)
+				}
+				if want {
+					mode = ed.To
+					switches++
+					for k := range streak {
+						streak[k] = 0
+					}
+				}
+			}
+
+			if got := e.Mode(); got != mode {
+				t.Fatalf("Mode = %d, model %d", got, mode)
+			}
+			if got := e.Switches(); got != switches {
+				t.Fatalf("Switches = %d, model %d", got, switches)
+			}
+			if got := e.Epoch(); got != uint32(switches) {
+				t.Fatalf("Epoch = %d, %d switches", got, switches)
+			}
+			if err := e.Check(tab); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/reactive/internal/chaos"
 	"repro/reactive/policy"
 )
 
@@ -283,6 +284,7 @@ func (e *Engine) TryCommit(t *Table, from, to Mode) bool {
 			return false
 		}
 		epoch, _ := Unpack(w)
+		chaos.Point("modal.commit.window")
 		if e.word.CompareAndSwap(w, pack(epoch+1, to)) {
 			break
 		}

@@ -67,6 +67,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/reactive/internal/chaos"
 	"repro/reactive/internal/waitq"
 	"repro/reactive/modal"
 	"repro/reactive/policy"
@@ -361,12 +362,35 @@ func (m *Mutex) lockFast() bool {
 	if m.state.CompareAndSwap(unlocked, locked) {
 		// Detection is mode-directional, as in the simulator's reactive
 		// lock: spin mode monitors the cheap→scalable direction only.
+		// With an injected policy the notification runs under a
+		// panic guard — the lock is already held here, and a panicking
+		// policy must not strand it. The built-in path stays bare: it is
+		// pure atomics and the guard's defer would tax every
+		// uncontended acquisition.
 		if m.eng.Mode() == mSpin {
-			m.eng.Good(spinParkTable, mSpin, mPark)
+			if m.eng.Policy() == nil {
+				m.eng.Good(spinParkTable, mSpin, mPark)
+			} else {
+				m.goodHolding()
+			}
 		}
 		return true
 	}
 	return false
+}
+
+// goodHolding delivers a spin-mode Optimal notification while the
+// caller holds the lock, releasing the lock before re-raising a policy
+// panic so a faulty injected policy surfaces as a crash, not a wedged
+// mutex.
+func (m *Mutex) goodHolding() {
+	defer func() {
+		if r := recover(); r != nil {
+			m.Unlock()
+			panic(r)
+		}
+	}()
+	m.eng.Good(spinParkTable, mSpin, mPark)
 }
 
 // LockCtx acquires the mutex like Lock, but gives up when ctx is
@@ -406,6 +430,17 @@ func (m *Mutex) lockSlow(ctx context.Context, done <-chan struct{}) error {
 // detection, SpinFailLimit consecutive contended acquisitions switch
 // ModeSpin → ModePark — exactly the documented streak semantics.
 func (m *Mutex) noteSpinAcquire(fails int) {
+	// The caller holds the lock; with an injected policy the
+	// notifications run under a panic guard (as in lockFast) so a
+	// panicking policy cannot strand it.
+	if m.eng.Policy() != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				m.Unlock()
+				panic(r)
+			}
+		}()
+	}
 	if fails == 0 {
 		m.eng.Good(spinParkTable, mSpin, mPark)
 		return
@@ -470,6 +505,7 @@ func (m *Mutex) lockPark(ctx context.Context, done <-chan struct{}) error {
 		// word says "contended", so the unlock that observes contended
 		// (or a queued waiter) always has someone to grant to.
 		m.q.Push(w)
+		chaos.Point("mutex.park.announced")
 		for {
 			old := m.state.Load()
 			if old == unlocked {
@@ -508,14 +544,17 @@ func (m *Mutex) Unlock() {
 	if old == unlocked {
 		panic("reactive: Unlock of unlocked Mutex")
 	}
+	chaos.Point("mutex.unlock.release")
 	if old == contended || m.q.Len() > 0 {
+		// Wake the oldest parked waiter (a no-op if every announced
+		// waiter is still pre-park: their post-announce state check
+		// covers this release) before notifying the engine: Good may call
+		// into an injected policy, and a panic there must not strand the
+		// waiter this release owes a wakeup.
+		m.q.Grant()
 		if mode == mPark {
 			m.eng.Good(spinParkTable, mPark, mSpin)
 		}
-		// Wake the oldest parked waiter (a no-op if every announced
-		// waiter is still pre-park: their post-announce state check
-		// covers this release).
-		m.q.Grant()
 		return
 	}
 	if mode == mPark {

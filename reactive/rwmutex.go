@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/reactive/internal/affinity"
+	"repro/reactive/internal/chaos"
 	"repro/reactive/internal/waitq"
 	"repro/reactive/modal"
 )
@@ -159,9 +160,13 @@ func RWReaderTable() *modal.Table { return readerShardTable }
 // acquisition — an application writer, or a reader-driven registration
 // protocol change, which takes the write lock itself — a nested RLock
 // deadlocks, so even a writer-free program must not nest read locks.
-// Calling RUnlock without a matching RLock panics in centralized mode;
-// in sharded mode it is undetectable (the slots admit no cheap
-// per-reader check) and leaves the lock permanently wedged.
+// Calling RUnlock without a matching RLock panics, as with
+// sync.RWMutex. In centralized mode the panic is immediate (the
+// reader count goes negative); in the sharded and epoch modes the
+// slots admit no cheap per-reader check, so the violation surfaces at
+// the next writer's drain sweep — the one point where a negative delta
+// sum is provable misuse rather than a transient — and the panic fires
+// on the writer's goroutine.
 type RWMutex struct {
 	w Mutex // serializes writers; adaptive in its own right
 
@@ -412,6 +417,7 @@ func (rw *RWMutex) rlockSharded() bool {
 	// user code): preemption cannot widen the window in which a
 	// sweeping writer sees a deposit whose gate check is still pending.
 	s.N.Add(1)
+	chaos.PinnedPoint("rwmutex.sharded.deposit")
 	if rw.readerCount.Load() >= 0 && rw.reng.Mode() == rSharded {
 		affinity.Unpin()
 		return true
@@ -425,6 +431,7 @@ func (rw *RWMutex) rlockSharded() bool {
 // one) and nudges a draining writer to re-sweep.
 func (rw *RWMutex) runlockSharded(s *affinity.Cell) {
 	s.N.Add(-1)
+	chaos.Point("rwmutex.sharded.undo")
 	if rw.readerCount.Load() < 0 {
 		// A writer is draining and may be parked waiting for the slot
 		// sum to reach zero; wake it to re-sweep. A spurious grant is
@@ -453,6 +460,7 @@ func (rw *RWMutex) rlockEpoch() bool {
 	cells := rw.ecells // non-nil: built before rEpoch was published
 	c := &cells[affinity.Pin()&(len(cells)-1)]
 	c.Cnt.Add(1)
+	chaos.PinnedPoint("rwmutex.epoch.stamp")
 	if g := rw.rgate.Load(); g >= rgEpoch {
 		// Registered: the mode is frozen until this reader goes offline
 		// (every registration commit runs under a drain this stamp
@@ -477,6 +485,7 @@ func (rw *RWMutex) rlockEpoch() bool {
 // still polling and re-sweeps on its own.
 func (rw *RWMutex) runlockEpoch(c *affinity.EpochCell) {
 	c.Cnt.Add(-1)
+	chaos.Point("rwmutex.epoch.offline")
 	if rw.rgate.Load() < 0 {
 		// A writer's grace period may be parked waiting for the cell
 		// sum to reach zero; wake it to re-sweep. A spurious grant is
@@ -639,6 +648,19 @@ func (rw *RWMutex) noteReadWait(blocked, budget int) {
 	if rw.eng.Mode() != mSpin {
 		return
 	}
+	// The caller holds a read registration; with an injected policy the
+	// notifications run under a panic guard so a panicking policy
+	// releases the registration before the crash surfaces — otherwise
+	// every later writer would park behind a reader that no longer
+	// exists.
+	if rw.eng.Policy() != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				rw.RUnlock()
+				panic(r)
+			}
+		}()
+	}
 	if blocked > budget {
 		if rw.eng.Vote(spinParkTable, mSpin, mPark, rw.cfg.failLimit()) {
 			rw.switchRWMode(ModeSpin, ModePark)
@@ -735,6 +757,7 @@ func (rw *RWMutex) Lock() {
 	// reconciliation).
 	busy := rw.readerCount.Add(-rwBias) != -rwBias
 	rw.claimEpochGate()
+	chaos.Point("rwmutex.writer.claimed")
 	if busy || rw.slotsUp.Load() || rw.ecellsUp.Load() {
 		rw.drainReaders(nil, nil)
 	}
@@ -756,6 +779,7 @@ func (rw *RWMutex) LockCtx(ctx context.Context) error {
 	}
 	busy := rw.readerCount.Add(-rwBias) != -rwBias
 	rw.claimEpochGate()
+	chaos.Point("rwmutex.writer.claimed")
 	if busy || rw.slotsUp.Load() || rw.ecellsUp.Load() {
 		if err := rw.drainReaders(ctx, ctx.Done()); err != nil {
 			// Cancelled mid-drain: retract both claims and wake the
@@ -763,6 +787,7 @@ func (rw *RWMutex) LockCtx(ctx context.Context) error {
 			// TryLock performs), then release the writer mutex.
 			rw.readerCount.Add(rwBias)
 			rw.releaseEpochGate()
+			chaos.Point("rwmutex.drain.undo")
 			rw.rq.GrantAll()
 			rw.w.Unlock()
 			return err
@@ -789,6 +814,7 @@ func (rw *RWMutex) TryLock() bool {
 		// a TryLock-undo still moves the global epoch forward.
 		rw.readerCount.Add(rwBias)
 		rw.releaseEpochGate()
+		chaos.Point("rwmutex.trylock.undo")
 		// A park-mode reader may have parked during the transient
 		// claim; without this wake only a later writer's release would
 		// free it.
@@ -814,6 +840,13 @@ func (rw *RWMutex) slotSum() int64 {
 	for i := range rw.slots {
 		sum += rw.slots[i].N.Load()
 	}
+	// With the claim in place every registered deposit is in the sum and
+	// transient deposit/undo pairs only inflate it, so a negative read
+	// proves an RUnlock that never deposited: caller misuse, reported
+	// with the same message the centralized mode panics with.
+	if sum < 0 {
+		panic("reactive: RUnlock of unlocked RWMutex")
+	}
 	return sum
 }
 
@@ -830,6 +863,11 @@ func (rw *RWMutex) epochSum() int64 {
 	var sum int64
 	for i := range rw.ecells {
 		sum += rw.ecells[i].Cnt.Load()
+	}
+	// As in slotSum: under the claim a negative sum proves an RUnlock
+	// with no matching RLock.
+	if sum < 0 {
+		panic("reactive: RUnlock of unlocked RWMutex")
 	}
 	return sum
 }
@@ -961,9 +999,16 @@ func (rw *RWMutex) Unlock() {
 		panic("reactive: Unlock of unlocked RWMutex")
 	}
 	rw.releaseEpochGate()
+	chaos.Point("rwmutex.unlock.release")
 	// Broadcast after the claims clear: a reader that announces later
 	// re-checks the claim after queuing and leaves on its own.
 	rw.rq.GrantAll()
+	// Release the writer mutex before the detection calls: Good and Vote
+	// may call into an injected policy, and a panic there must unwind
+	// without the writer mutex held — otherwise every later Lock parks
+	// forever behind a lock nobody owns. Detection is still serialized
+	// by the engine's own policy lock.
+	rw.w.Unlock()
 	if rw.eng.Mode() == mPark {
 		if parked {
 			rw.eng.Good(spinParkTable, mPark, mSpin)
@@ -973,7 +1018,6 @@ func (rw *RWMutex) Unlock() {
 			rw.switchRWMode(ModePark, ModeSpin)
 		}
 	}
-	rw.w.Unlock()
 }
 
 // switchRWMode performs a reader wait-protocol change from want to next
