@@ -18,7 +18,7 @@ test:
 	$(GO) test -race -short ./...
 	$(GO) build -tags reactive_noprocpin ./...
 	$(GO) test -tags reactive_noprocpin -short ./reactive/...
-	$(GO) test -tags reactive_noprocpin -race -short -run 'Ctx|Cancel|Handoff|Stress|Epoch|GOMAXPROCS|Misuse|Panic|Invariants|Fuzz' ./reactive/...
+	$(GO) test -tags reactive_noprocpin -race -short -run 'Ctx|Cancel|Handoff|Stress|Epoch|GOMAXPROCS|Misuse|Panic|Invariants|Fuzz|Map' ./reactive/...
 
 # The CI examples job: every example vets clean and runs to completion.
 examples:
@@ -39,15 +39,17 @@ bench:
 # also invokes the real benchstat on the native sections when the tool
 # is installed. Mirrors CI's non-blocking bench-compare step, including
 # its regression threshold (exit code 1 when a native fast path
-# regressed beyond THRESHOLD percent).
+# regressed beyond THRESHOLD percent). -normalize divides the control/
+# rows' host-drift ratio out of the gated deltas, so a slower machine
+# than the baseline's does not read as a library regression.
 THRESHOLD ?= 25
 bench-compare: bench
-	@$(GO) run ./cmd/benchcmp -old bench_baseline.json -new bench_results.json -threshold $(THRESHOLD) > bench_compare.txt; \
+	@$(GO) run ./cmd/benchcmp -old bench_baseline.json -new bench_results.json -threshold $(THRESHOLD) -normalize > bench_compare.txt; \
 	st=$$?; cat bench_compare.txt; exit $$st
 
 # The CI loadtest job: the open-loop service-scale harness. Smoke the
 # loadsvc package (short mode keeps it seconds-scale), regenerate
-# bench_tail.json across all six scenarios, and gate the tail-latency
+# bench_tail.json across all scenarios, and gate the tail-latency
 # trajectory against the committed bench_tail_baseline.json (exit 1 when
 # a gated quantile row regressed beyond TAIL_THRESHOLD percent; /max
 # rows are reported but never gated).

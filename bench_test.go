@@ -277,7 +277,7 @@ func BenchmarkTable4_6_HalfB(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §12) ---
+// --- Ablations (DESIGN.md §13) ---
 
 func BenchmarkAblationOptimisticTAS(b *testing.B) {
 	for _, proto := range []string{"reactive", "reactive-nonoptimistic"} {
@@ -725,5 +725,150 @@ func BenchmarkNativeRWMutex(b *testing.B) {
 			}
 		})
 		readerMode(b, rw)
+	})
+}
+
+// BenchmarkNativeMap prices the adaptive hash map's lookup path in each
+// of its three protocols against sync.Map and a plain mutex-guarded map,
+// over a warm 128-key table. The forcing options pin each protocol for
+// the measurement (a huge SpinFailLimit blocks promotion, a huge
+// EmptyLimit blocks demotion) so every row is one protocol's read path,
+// not a mode mix. The read-4x rows run pure readers at 4-way
+// parallelism (GOMAXPROCS is raised to 4 for the row on smaller hosts,
+// so the parallelism is scheduling-real everywhere): the epoch row's
+// published-table lookup (per-P stamp, no shared-cacheline write, no
+// lock) is the row the locked protocol's single lock word cannot
+// approach — the gap is the map's reason to climb the chain.
+func BenchmarkNativeMap(b *testing.B) {
+	const mapKeys = 128
+	fill := func(m *reactive.Map[uint64, uint64]) *reactive.Map[uint64, uint64] {
+		for k := uint64(0); k < mapKeys; k++ {
+			m.Put(k, k)
+		}
+		return m
+	}
+	mapMode := func(b *testing.B, m *reactive.Map[uint64, uint64]) {
+		b.ReportMetric(float64(m.Stats().Mode), "mapmode")
+	}
+	// run4x drives body from 4-way-parallel readers. On hosts with
+	// GOMAXPROCS < 4 the procs are raised for the row's duration:
+	// without real scheduling parallelism the locked protocol's
+	// contention (the gap these rows exist to price) is invisible.
+	run4x := func(b *testing.B, body func(pb *testing.PB)) {
+		if prev := runtime.GOMAXPROCS(0); prev < 4 {
+			runtime.GOMAXPROCS(4)
+			defer runtime.GOMAXPROCS(prev)
+		}
+		b.SetParallelism(4)
+		b.RunParallel(body)
+	}
+
+	b.Run("get-locked/reactive", func(b *testing.B) {
+		m := fill(reactive.NewMap[uint64, uint64](reactive.WithSpinFailLimit(1 << 30)))
+		for i := 0; i < b.N; i++ {
+			m.Get(uint64(i) % mapKeys)
+		}
+		mapMode(b, m)
+	})
+	b.Run("get-sharded-forced/reactive", func(b *testing.B) {
+		m := fill(reactive.NewMap[uint64, uint64](reactive.WithInitialMode(reactive.ModeSharded),
+			reactive.WithSpinFailLimit(1<<30), reactive.WithEmptyLimit(1<<30)))
+		for i := 0; i < b.N; i++ {
+			m.Get(uint64(i) % mapKeys)
+		}
+		mapMode(b, m)
+	})
+	b.Run("get-epoch-forced/reactive", func(b *testing.B) {
+		m := fill(reactive.NewMap[uint64, uint64](reactive.WithInitialMode(reactive.ModeEpoch),
+			reactive.WithEmptyLimit(1<<30)))
+		for i := 0; i < b.N; i++ {
+			m.Get(uint64(i) % mapKeys)
+		}
+		mapMode(b, m)
+	})
+	b.Run("get/sync.Map", func(b *testing.B) {
+		var m sync.Map
+		for k := uint64(0); k < mapKeys; k++ {
+			m.Store(k, k)
+		}
+		for i := 0; i < b.N; i++ {
+			m.Load(uint64(i) % mapKeys)
+		}
+	})
+	b.Run("get/mutex-map", func(b *testing.B) {
+		m := make(map[uint64]uint64, mapKeys)
+		for k := uint64(0); k < mapKeys; k++ {
+			m[k] = k
+		}
+		var mu sync.Mutex
+		for i := 0; i < b.N; i++ {
+			mu.Lock()
+			_ = m[uint64(i)%mapKeys]
+			mu.Unlock()
+		}
+	})
+	b.Run("read-4x-locked/reactive", func(b *testing.B) {
+		m := fill(reactive.NewMap[uint64, uint64](reactive.WithSpinFailLimit(1 << 30)))
+		run4x(b, func(pb *testing.PB) {
+			i := uint64(0)
+			for pb.Next() {
+				m.Get(i % mapKeys)
+				i++
+			}
+		})
+		mapMode(b, m)
+	})
+	b.Run("read-4x-sharded-forced/reactive", func(b *testing.B) {
+		m := fill(reactive.NewMap[uint64, uint64](reactive.WithInitialMode(reactive.ModeSharded),
+			reactive.WithSpinFailLimit(1<<30), reactive.WithEmptyLimit(1<<30)))
+		run4x(b, func(pb *testing.PB) {
+			i := uint64(0)
+			for pb.Next() {
+				m.Get(i % mapKeys)
+				i++
+			}
+		})
+		mapMode(b, m)
+	})
+	b.Run("read-4x-epoch-forced/reactive", func(b *testing.B) {
+		m := fill(reactive.NewMap[uint64, uint64](reactive.WithInitialMode(reactive.ModeEpoch),
+			reactive.WithEmptyLimit(1<<30)))
+		run4x(b, func(pb *testing.PB) {
+			i := uint64(0)
+			for pb.Next() {
+				m.Get(i % mapKeys)
+				i++
+			}
+		})
+		mapMode(b, m)
+	})
+	b.Run("read-4x/sync.Map", func(b *testing.B) {
+		var m sync.Map
+		for k := uint64(0); k < mapKeys; k++ {
+			m.Store(k, k)
+		}
+		run4x(b, func(pb *testing.PB) {
+			i := uint64(0)
+			for pb.Next() {
+				m.Load(i % mapKeys)
+				i++
+			}
+		})
+	})
+	b.Run("read-4x/mutex-map", func(b *testing.B) {
+		m := make(map[uint64]uint64, mapKeys)
+		for k := uint64(0); k < mapKeys; k++ {
+			m[k] = k
+		}
+		var mu sync.Mutex
+		run4x(b, func(pb *testing.PB) {
+			i := uint64(0)
+			for pb.Next() {
+				mu.Lock()
+				_ = m[i%mapKeys]
+				mu.Unlock()
+				i++
+			}
+		})
 	})
 }

@@ -17,7 +17,15 @@
 // native measurement slower than the baseline by more than pct percent
 // is listed in a "regressions over threshold" section and the exit code
 // is 1, so a pipeline can surface (or block on) fast-path regressions
-// while still tolerating wall-clock noise below the threshold.
+// while still tolerating wall-clock noise below the threshold. Only
+// rows ending in "/reactive" are ever gated — stdlib baseline rows
+// move only with host noise — and rows under the "control/" prefix
+// (stdlib-only workloads nothing in this repository can change) are
+// reported but never gated. With -normalize, the geometric-mean drift
+// ratio of the control/ rows is divided out of every gated row's delta
+// before the threshold applies, so a uniformly slower or faster host
+// (a shared CI runner, a different machine) does not masquerade as a
+// library regression; the printed table still shows raw deltas.
 //
 // With -tail the documents are bench_tail.json tail-latency trajectories
 // from cmd/loadgen instead (flat scenario/quantile rows in microseconds);
@@ -85,6 +93,8 @@ func main() {
 		"fail (exit 1) when a measurement regresses beyond this percentage; 0 disables the gate")
 	tail := flag.Bool("tail", false,
 		"compare bench_tail.json tail-latency trajectories instead of bench_results.json documents")
+	normalize := flag.Bool("normalize", false,
+		"divide the control/ rows' geometric-mean drift out of gated native deltas before thresholding")
 	flag.Parse()
 
 	if *tail {
@@ -117,7 +127,7 @@ func main() {
 	} else {
 		compareTables(oldDoc, newDoc)
 		fmt.Println()
-		regressions = compareNative(oldDoc, newDoc, *threshold)
+		regressions = compareNative(oldDoc, newDoc, *threshold, *normalize)
 		runBenchstat(oldDoc, newDoc)
 	}
 	if *threshold > 0 {
@@ -268,11 +278,54 @@ func diffTable(oldRows, newRows [][]string) (changed int, maxDelta float64) {
 	return changed, maxDelta
 }
 
+// controlDrift returns the geometric-mean new/old ratio over the
+// control/ rows present in both documents, and how many rows fed it.
+// The control rows are stdlib-only workloads no change in this
+// repository can speed up or slow down, so their collective drift is a
+// pure host-speed signal: 1.10 means "this host ran everything ~10%
+// slower than the baseline host did".
+func controlDrift(oldDoc, newDoc *resultsDoc) (float64, int) {
+	oldByName := map[string]float64{}
+	for _, r := range oldDoc.Native {
+		oldByName[r.Name] = r.NsPerOp
+	}
+	logSum, n := 0.0, 0
+	for _, nr := range newDoc.Native {
+		if !strings.HasPrefix(nr.Name, "control/") {
+			continue
+		}
+		ov, ok := oldByName[nr.Name]
+		if !ok || ov <= 0 || nr.NsPerOp <= 0 {
+			continue
+		}
+		logSum += math.Log(nr.NsPerOp / ov)
+		n++
+	}
+	if n == 0 {
+		return 1, 0
+	}
+	return math.Exp(logSum / float64(n)), n
+}
+
 // compareNative prints old/new/delta ns/op for the wall-clock section
 // and returns the measurements that regressed beyond threshold percent
-// (none when the gate is disabled with threshold ≤ 0).
-func compareNative(oldDoc, newDoc *resultsDoc, threshold float64) []string {
+// (none when the gate is disabled with threshold ≤ 0). Rows under the
+// control/ prefix are reported but never gated; with normalize set,
+// their geometric-mean drift is divided out of each gated row's ratio
+// before the threshold applies (the printed per-row deltas stay raw).
+func compareNative(oldDoc, newDoc *resultsDoc, threshold float64, normalize bool) []string {
 	fmt.Println("== native primitives (wall-clock; trend reading only) ==")
+	drift, controls := controlDrift(oldDoc, newDoc)
+	if controls > 0 {
+		note := "reported only, not applied to the gate; use -normalize"
+		if normalize {
+			note = "divided out of gated deltas"
+		}
+		fmt.Printf("control drift: %+.1f%% over %d control/ rows (%s)\n",
+			100*(drift-1), controls, note)
+	} else if normalize {
+		fmt.Println("control drift: no control/ rows on both sides; -normalize is a no-op")
+	}
 	fmt.Printf("%-36s %12s %12s %9s\n", "name", "old ns/op", "new ns/op", "delta")
 	oldByName := map[string]float64{}
 	for _, r := range oldDoc.Native {
@@ -292,11 +345,22 @@ func compareNative(oldDoc, newDoc *resultsDoc, threshold float64) []string {
 			delta = fmt.Sprintf("%+.1f%%", pct)
 			// Only this project's rows can regress from a code change;
 			// the stdlib baseline rows (/sync.Mutex, /atomic.Int64, ...)
-			// move only with host noise, so gating them would cry wolf.
-			if threshold > 0 && pct > threshold && strings.HasSuffix(nr.Name, "/reactive") {
+			// move only with host noise, so gating them would cry wolf,
+			// and the control/ rows exist precisely to measure that
+			// noise — they are never gated.
+			gatedPct := pct
+			if normalize && controls > 0 {
+				gatedPct = 100 * (nr.NsPerOp/drift - ov) / ov
+			}
+			if threshold > 0 && gatedPct > threshold &&
+				strings.HasSuffix(nr.Name, "/reactive") && !strings.HasPrefix(nr.Name, "control/") {
+				detail := fmt.Sprintf("%+.1f%% > +%.1f%%", pct, threshold)
+				if normalize && controls > 0 {
+					detail = fmt.Sprintf("%+.1f%% raw, %+.1f%% drift-normalized > +%.1f%%",
+						pct, gatedPct, threshold)
+				}
 				regressions = append(regressions, fmt.Sprintf(
-					"%s: %.2f -> %.2f ns/op (%+.1f%% > +%.1f%%)",
-					nr.Name, ov, nr.NsPerOp, pct, threshold))
+					"%s: %.2f -> %.2f ns/op (%s)", nr.Name, ov, nr.NsPerOp, detail))
 			}
 		}
 		fmt.Printf("%-36s %12.2f %12.2f %9s\n", nr.Name, ov, nr.NsPerOp, delta)

@@ -174,8 +174,12 @@ func printSummary(reports []*loadsvc.Report) {
 		}
 		fmt.Println()
 		for _, s := range r.Sub {
-			fmt.Printf("%s procs=%d: n=%d p50=%.1fµs p99=%.1fµs p999=%.1fµs\n",
-				r.Scenario, s.Procs, s.Requests, s.P50Us, s.P99Us, s.P999Us)
+			tag := fmt.Sprintf("procs=%d", s.Procs)
+			if s.Mode != "" {
+				tag = "mode=" + s.Mode
+			}
+			fmt.Printf("%s %s: n=%d p50=%.1fµs p99=%.1fµs p999=%.1fµs\n",
+				r.Scenario, tag, s.Requests, s.P50Us, s.P99Us, s.P999Us)
 		}
 	}
 }

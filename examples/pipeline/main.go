@@ -67,8 +67,15 @@ func main() {
 	// mount the poll-aware /debug/reactive handler. An httptest server
 	// keeps the example self-contained; a real service would mount on its
 	// own mux (or pass nil for http.DefaultServeMux).
+	// hot is a per-key hit cache on the adaptive map: read-mostly once
+	// warm, so its own modal engine is free to climb toward the
+	// published-table epoch protocol while the route lock adapts
+	// independently.
+	hot := reactive.NewMap[int, int]()
+
 	var registry reactivehttp.Registry
 	registry.Register("routes", rw)
+	registry.Register("hot", hot)
 	reactivehttp.Publish("pipeline", &registry)
 	mux := http.NewServeMux()
 	reactivehttp.Handle(mux, &registry)
@@ -88,9 +95,13 @@ func main() {
 			degraded.Add(1)
 			return (*stale.Load())[key]
 		}
-		defer rw.RUnlock()
+		w := table[key]
+		rw.RUnlock()
 		fresh.Add(1)
-		return table[key]
+		if cached, ok := hot.Get(key); !ok || cached != w {
+			hot.Put(key, w) // warm or refresh; steady state is pure reads
+		}
+		return w
 	}
 
 	stop := make(chan struct{})
@@ -128,8 +139,9 @@ func main() {
 			panic(err)
 		}
 		st := rep.Primitives["routes"]
-		fmt.Printf("%-28s mode=%-5v switches=%d (+%d this phase, %.1f/s) items=%d fresh=%d stale=%d\n",
-			name, st.Mode, st.Switches, st.Delta.Switches, st.SwitchRate,
+		hs := rep.Primitives["hot"]
+		fmt.Printf("%-28s mode=%-5v switches=%d (+%d this phase, %.1f/s) hot-map=%v items=%d fresh=%d stale=%d\n",
+			name, st.Mode, st.Switches, st.Delta.Switches, st.SwitchRate, hs.Mode,
 			processed.Load(), fresh.Load(), degraded.Load())
 	}
 	report("startup")

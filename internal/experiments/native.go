@@ -31,6 +31,9 @@ type NativeResult struct {
 // job.
 const nativeOps = 100_000
 
+// controlSink defeats dead-code elimination of the control/spin-loop row.
+var controlSink atomic.Uint64
+
 // measureNative times fn doing ops operations split across n goroutines.
 func measureNative(name string, n int, fn func(per int)) NativeResult {
 	per := nativeOps / n
@@ -277,6 +280,86 @@ func NativePrimitives() []NativeResult {
 				srw.RLock()
 				srw.RUnlock()
 			}
+		}
+	}))
+	// Adaptive map rows: lookups against a warm 128-key table in each of
+	// the three protocols, against sync.Map and a plain mutex-guarded map.
+	// The forcing options pin each protocol for the duration (a huge
+	// SpinFailLimit blocks promotion, a huge EmptyLimit blocks demotion)
+	// so every row measures one protocol's read path, not a mode mix.
+	const mapKeys = 128
+	fillMap := func(m *reactive.Map[uint64, uint64]) *reactive.Map[uint64, uint64] {
+		for k := uint64(0); k < mapKeys; k++ {
+			m.Put(k, k)
+		}
+		return m
+	}
+	lm := fillMap(reactive.NewMap[uint64, uint64](reactive.WithSpinFailLimit(1 << 30)))
+	out = append(out, measureNative("map/get-locked/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			lm.Get(uint64(i) % mapKeys)
+		}
+	}))
+	shm := fillMap(reactive.NewMap[uint64, uint64](reactive.WithInitialMode(reactive.ModeSharded),
+		reactive.WithSpinFailLimit(1<<30), reactive.WithEmptyLimit(1<<30)))
+	out = append(out, measureNative("map/get-sharded-forced/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			shm.Get(uint64(i) % mapKeys)
+		}
+	}))
+	em := fillMap(reactive.NewMap[uint64, uint64](reactive.WithInitialMode(reactive.ModeEpoch),
+		reactive.WithEmptyLimit(1<<30)))
+	out = append(out, measureNative("map/get-epoch-forced/reactive", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			em.Get(uint64(i) % mapKeys)
+		}
+	}))
+	var sym sync.Map
+	for k := uint64(0); k < mapKeys; k++ {
+		sym.Store(k, k)
+	}
+	out = append(out, measureNative("map/get/sync.Map", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			sym.Load(uint64(i) % mapKeys)
+		}
+	}))
+	mum := make(map[uint64]uint64, mapKeys)
+	for k := uint64(0); k < mapKeys; k++ {
+		mum[k] = k
+	}
+	var mumLock sync.Mutex
+	out = append(out, measureNative("map/get/mutex-map", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			mumLock.Lock()
+			_ = mum[uint64(i)%mapKeys]
+			mumLock.Unlock()
+		}
+	}))
+	// Control rows: stdlib-only workloads whose cost cannot be changed by
+	// anything in this repository. benchcmp reports them but never gates
+	// them; with -normalize their drift ratio is divided out of the gated
+	// rows, so a slower/faster CI host does not masquerade as a library
+	// regression.
+	out = append(out, measureNative("control/spin-loop", 1, func(per int) {
+		x := uint64(1)
+		for i := 0; i < per; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		controlSink.Store(x)
+	}))
+	var ctlMu sync.Mutex
+	out = append(out, measureNative("control/sync.Mutex", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			ctlMu.Lock()
+			ctlMu.Unlock()
+		}
+	}))
+	var ctlAdd atomic.Int64
+	out = append(out, measureNative("control/atomic.Int64", contenders, func(per int) {
+		for i := 0; i < per; i++ {
+			ctlAdd.Add(1)
 		}
 	}))
 	// Mixed update+read pressure: the regime FetchOp's combining protocol

@@ -273,6 +273,12 @@ var Default = func() *Registry {
 		Run:    NativeRWReaderEpochTrace,
 	})
 	r.Register(Spec{
+		Name: "native-map-trace", Figure: "Extension (modal engine)", Tool: ToolReactsim,
+		Title:  "Extension: native adaptive-map 3-mode chain over a contention trace (locked table ↔ shard locks ↔ published epoch table)",
+		Groups: []string{"native"},
+		Run:    NativeMapTrace,
+	})
+	r.Register(Spec{
 		Name: "native-congestion-trace", Figure: "Extension (congestion policy)", Tool: ToolReactsim,
 		Title:  "Extension: congestion-control policy (AIMD window, sRTT estimator) on the native fetch-op modal engine",
 		Groups: []string{"native", "congestion"},

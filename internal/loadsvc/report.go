@@ -72,9 +72,12 @@ type PrimitiveDelta struct {
 	ReaderSwitches uint64 `json:"reader_switches,omitempty"`
 }
 
-// SubReport is one GOMAXPROCS setting's slice of a sweep scenario.
+// SubReport is one slice of a sweep scenario: a GOMAXPROCS setting
+// (Procs) or a forced routing-map protocol (Mode), whichever the sweep
+// varies.
 type SubReport struct {
-	Procs    int     `json:"procs"`
+	Procs    int     `json:"procs,omitempty"`
+	Mode     string  `json:"mode,omitempty"`
 	Requests int64   `json:"requests"`
 	P50Us    float64 `json:"p50_us"`
 	P99Us    float64 `json:"p99_us"`
@@ -174,8 +177,9 @@ type TailRow struct {
 }
 
 // TailRows flattens the report's quantiles into gate rows:
-// scenario/p50, /p99, /p999, /max, plus per-GOMAXPROCS rows for sweep
-// sub-reports (scenario/procs=N/p99 ...).
+// scenario/p50, /p99, /p999, /max, plus per-slice rows for sweep
+// sub-reports (scenario/procs=N/p99 for GOMAXPROCS sweeps,
+// scenario/mode=epoch/p99 for routing-map protocol sweeps).
 func (r *Report) TailRows() []TailRow {
 	rows := []TailRow{
 		{r.Scenario + "/p50", r.P50Us},
@@ -185,6 +189,9 @@ func (r *Report) TailRows() []TailRow {
 	}
 	for _, s := range r.Sub {
 		prefix := fmt.Sprintf("%s/procs=%d/", r.Scenario, s.Procs)
+		if s.Mode != "" {
+			prefix = fmt.Sprintf("%s/mode=%s/", r.Scenario, s.Mode)
+		}
 		rows = append(rows,
 			TailRow{prefix + "p50", s.P50Us},
 			TailRow{prefix + "p99", s.P99Us},

@@ -59,7 +59,42 @@ func Run(sc Spec, o Options) (*Report, error) {
 	if len(sc.Procs) > 0 {
 		return runSweep(sc, o)
 	}
+	if len(sc.RouterModes) > 0 {
+		return runModeSweep(sc, o)
+	}
 	return runLive(sc, o)
+}
+
+// runModeSweep splits the duration across the sweep's forced routing-map
+// protocols, runs the (identical) plan once per protocol against a fresh
+// service, and merges; per-protocol quantiles land in Report.Sub tagged
+// with the forced mode. The GOMAXPROCS analogue of runSweep, but the
+// variable is the Map's protocol, not the host's parallelism.
+func runModeSweep(sc Spec, o Options) (*Report, error) {
+	sub := o
+	sub.Duration = o.Duration / time.Duration(len(sc.RouterModes))
+	flat := sc
+	flat.RouterModes = nil
+
+	merged := newReport(sc.Name, o)
+	for _, mode := range sc.RouterModes {
+		flat.RouterMode = mode
+		r, err := runLive(flat, sub)
+		if err != nil {
+			return merged, err
+		}
+		merged.merge(r)
+		merged.Sub = append(merged.Sub, SubReport{
+			Mode:     mode.String(),
+			Requests: r.Requests,
+			P50Us:    r.P50Us,
+			P99Us:    r.P99Us,
+			P999Us:   r.P999Us,
+			MaxUs:    r.MaxUs,
+		})
+	}
+	merged.finish()
+	return merged, nil
 }
 
 // runSweep splits the duration across the sweep's GOMAXPROCS settings,

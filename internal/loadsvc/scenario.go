@@ -40,17 +40,18 @@ type Req struct {
 }
 
 // Spec names one scenario of the load matrix and its shape defaults.
-// The six specs returned by Scenarios are the harness's scenario
-// matrix; EXPERIMENTS.md's "Load scenarios" table documents them and a
-// doc-sync test keeps the two lists identical.
+// The specs returned by Scenarios are the harness's scenario matrix;
+// EXPERIMENTS.md's "Load scenarios" table documents them and a doc-sync
+// test keeps the two lists identical.
 type Spec struct {
 	Name        string
-	Mix         string        // op mix, one line, for -list and the docs table
-	Stress      string        // what the scenario is designed to expose
-	DefaultRate int           // arrivals per second when Options.Rate == 0
-	ChurnEvery  int           // > 0: worker goroutines retire after this many requests
-	Procs       []int         // non-empty: run the plan once per GOMAXPROCS setting
-	RouterMode  reactive.Mode // nonzero: force the router's initial reader-registration mode
+	Mix         string          // op mix, one line, for -list and the docs table
+	Stress      string          // what the scenario is designed to expose
+	DefaultRate int             // arrivals per second when Options.Rate == 0
+	ChurnEvery  int             // > 0: worker goroutines retire after this many requests
+	Procs       []int           // non-empty: run the plan once per GOMAXPROCS setting
+	RouterMode  reactive.Mode   // nonzero: force the routing map's initial protocol
+	RouterModes []reactive.Mode // non-empty: run the plan once per forced routing-map protocol
 }
 
 // Scenarios returns the load-scenario matrix in its canonical order.
@@ -64,7 +65,7 @@ func Scenarios() []Spec {
 		},
 		{
 			Name:        "read-heavy-epoch",
-			Mix:         "95% get (2ms deadline) / 5% put; router forced to epoch registration",
+			Mix:         "95% get (2ms deadline) / 5% put; routing map forced to epoch",
 			Stress:      "epoch-stamp read path and writer grace periods under steady load",
 			DefaultRate: 3000,
 			RouterMode:  reactive.ModeEpoch,
@@ -94,6 +95,13 @@ func Scenarios() []Spec {
 			Stress:      "trajectory of the same workload across parallelism levels",
 			DefaultRate: 2000,
 			Procs:       sweepProcs(),
+		},
+		{
+			Name:        "map-read-heavy",
+			Mix:         "95% get (2ms deadline) / 5% put, repeated with the routing map forced to locked, sharded, and epoch",
+			Stress:      "the same mix across all three Map protocols; epoch's published-table reads should erase degraded reads",
+			DefaultRate: 3000,
+			RouterModes: []reactive.Mode{reactive.ModeLocked, reactive.ModeSharded, reactive.ModeEpoch},
 		},
 	}
 }
@@ -232,7 +240,7 @@ const (
 // the plan is reproducible.
 func buildReq(name string, at time.Duration, rng *sim.Rand) Req {
 	switch name {
-	case "read-heavy", "read-heavy-epoch", "goroutine-churn", "gomaxprocs-sweep":
+	case "read-heavy", "read-heavy-epoch", "goroutine-churn", "gomaxprocs-sweep", "map-read-heavy":
 		if rng.Intn(100) < 95 {
 			return getReq(rng, readDeadline)
 		}

@@ -6,10 +6,12 @@
 //
 // The service is deliberately the workload the paper's primitives are
 // for: every request bumps a hit counter (reactive.Counter), reads
-// consult a routing table under a per-request RLockCtx deadline and
-// degrade to an atomically-published stale snapshot when the deadline
-// expires (reactive.RWMutex), writes append to a commit journal under
-// Mutex.LockCtx before taking the table's write lock, and every
+// route through an adaptive hash map under a per-request GetCtx
+// deadline and degrade to an atomically-published stale snapshot when
+// the deadline expires (reactive.Map — the routing table IS the
+// adaptive data structure, walking locked ↔ sharded ↔ epoch as the
+// read/write mix shifts), writes append to a commit journal under
+// Mutex.LockCtx before installing the new routing entry, and every
 // completed request folds its latency into a max-aggregating
 // reactive.FetchOp. All four primitives are named in a
 // reactivehttp.Registry, so the executor scrapes their per-scenario
@@ -35,8 +37,8 @@ import (
 
 // TableKeys is the routing-table key space. Small enough that snapshot
 // publication is cheap, large enough that per-key contention is rare —
-// contention in the harness comes from the lock protocols, not from one
-// hot key.
+// contention in the harness comes from the map's protocols, not from
+// one hot key.
 const TableKeys = 256
 
 // snapshotEvery is the write-path snapshot publication cadence: every
@@ -47,19 +49,17 @@ const snapshotEvery = 16
 
 // Service is the in-process RPC-shaped service the load harness drives.
 // All four public reactive primitives are load-bearing: hits on every
-// request, router on every read and write, journal on every write, peak
+// request, routes on every read and write, journal on every write, peak
 // on every completed request.
 type Service struct {
-	router  *reactive.RWMutex // guards table; readers carry deadlines
-	journal *reactive.Mutex   // serializes the commit journal (write path)
-	hits    *reactive.Counter // total requests accepted
-	peak    *reactive.FetchOp // max-aggregated request latency (ns)
+	routes  *reactive.Map[uint64, uint64] // the routing table; adaptive end to end
+	journal *reactive.Mutex               // serializes the commit journal (write path)
+	hits    *reactive.Counter             // total requests accepted
+	peak    *reactive.FetchOp             // max-aggregated request latency (ns)
 
-	table map[uint64]uint64                 // guarded by router
-	puts  int                               // guarded by router: snapshot cadence
-	snap  atomic.Pointer[map[uint64]uint64] // last published immutable snapshot
-
-	logLen int64 // guarded by journal: committed journal entries
+	puts   int                               // guarded by journal: snapshot cadence
+	snap   atomic.Pointer[map[uint64]uint64] // last published immutable snapshot
+	logLen int64                             // guarded by journal: committed journal entries
 
 	reg *reactivehttp.Registry
 }
@@ -70,18 +70,18 @@ type Service struct {
 func NewService() *Service { return NewServiceFor(Spec{}) }
 
 // NewServiceFor builds a Service shaped by scenario sc: a nonzero
-// Spec.RouterMode starts the router's reader-registration protocol in
-// that mode (the epoch scenario forces ModeEpoch so the harness
-// measures the epoch read path regardless of whether the host's
-// parallelism would promote it). The router stays fully adaptive
-// afterward — the forcing is an initial condition, not a pin.
+// Spec.RouterMode starts the routing map in that protocol (ModeLocked,
+// ModeSharded, or ModeEpoch — the epoch scenarios force ModeEpoch so
+// the harness measures the published-table read path regardless of
+// whether the host's parallelism would promote it). The map stays fully
+// adaptive afterward — the forcing is an initial condition, not a pin.
 func NewServiceFor(sc Spec) *Service {
 	var ropts []reactive.Option
 	if sc.RouterMode != 0 {
-		ropts = append(ropts, reactive.WithInitialReaderMode(sc.RouterMode))
+		ropts = append(ropts, reactive.WithInitialMode(sc.RouterMode))
 	}
 	s := &Service{
-		router:  reactive.NewRWMutex(ropts...),
+		routes:  reactive.NewMap[uint64, uint64](ropts...),
 		journal: reactive.New(),
 		hits:    reactive.NewCounter(),
 		peak: reactive.NewFetchOp(func(a, b int64) int64 {
@@ -90,14 +90,13 @@ func NewServiceFor(sc Spec) *Service {
 			}
 			return b
 		}, math.MinInt64),
-		table: make(map[uint64]uint64, TableKeys),
-		reg:   &reactivehttp.Registry{},
+		reg: &reactivehttp.Registry{},
 	}
 	for k := uint64(0); k < TableKeys; k++ {
-		s.table[k] = k * k
+		s.routes.Put(k, k*k)
 	}
 	s.publish()
-	s.reg.Register("router", s.router)
+	s.reg.Register("router", s.routes)
 	s.reg.Register("journal", s.journal)
 	s.reg.Register("hits", s.hits)
 	s.reg.Register("peak", s.peak)
@@ -107,14 +106,20 @@ func NewServiceFor(sc Spec) *Service {
 // Registry exposes the service's named primitives for telemetry export.
 func (s *Service) Registry() *reactivehttp.Registry { return s.reg }
 
-// publish copies the table into a fresh immutable snapshot for the
-// degraded-read path. Callers must hold the write lock (or, in
-// NewService, have exclusive access by construction).
+// RouterStats exposes the routing map's extended gauges (mode, shards,
+// table version, journal depth) for reports and tests.
+func (s *Service) RouterStats() reactive.MapStats { return s.routes.MapStats() }
+
+// publish copies the routing table into a fresh immutable snapshot for
+// the degraded-read path. The copy is a weakly consistent Range — the
+// snapshot is advertised as stale data, so tearing against concurrent
+// writes is within contract.
 func (s *Service) publish() {
-	c := make(map[uint64]uint64, len(s.table))
-	for k, v := range s.table {
+	c := make(map[uint64]uint64, TableKeys)
+	s.routes.Range(func(k, v uint64) bool {
 		c[k] = v
-	}
+		return true
+	})
 	s.snap.Store(&c)
 }
 
@@ -125,16 +130,19 @@ type GetResult struct {
 	Stale bool
 }
 
-// Get routes one read. The read lock is taken with the request's
-// context; a deadline expiry degrades to the last published snapshot
-// (stale routing beats no routing), while an outright cancellation —
-// the client has gone away — aborts the request with ctx.Err(). work
-// models the request's service time in spin iterations, spent while
-// the routing entry is held so read-side critical sections have
-// realistic width.
+// Get routes one read. The lookup runs with the request's context; a
+// deadline expiry while the map's current protocol would block (the
+// locked mode's writer lock, a sharded mode's shard word) degrades to
+// the last published snapshot (stale routing beats no routing), while
+// an outright cancellation — the client has gone away — aborts the
+// request with ctx.Err(). In the epoch mode the lookup reads the
+// published table without blocking, so degraded reads vanish — exactly
+// the property the map's read-mostly protocol exists for. work models
+// the request's service time in spin iterations.
 func (s *Service) Get(ctx context.Context, key uint64, work uint32) (GetResult, error) {
 	s.hits.Add(1)
-	if err := s.router.RLockCtx(ctx); err != nil {
+	v, _, err := s.routes.GetCtx(ctx, key%TableKeys)
+	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			v := (*s.snap.Load())[key%TableKeys]
 			spinWork(work)
@@ -142,52 +150,55 @@ func (s *Service) Get(ctx context.Context, key uint64, work uint32) (GetResult, 
 		}
 		return GetResult{}, err
 	}
-	v := s.table[key%TableKeys]
 	spinWork(work)
-	s.router.RUnlock()
 	return GetResult{Val: v}, nil
 }
 
 // Put routes one write: append to the commit journal under the journal
 // mutex (the Mutex.LockCtx write path), then install the new routing
-// entry under the table's write lock. Either acquisition gives up with
-// ctx.Err() when the request's context ends first.
+// entry through the map's cancellable write path. Either acquisition
+// gives up with ctx.Err() when the request's context ends first.
 func (s *Service) Put(ctx context.Context, key, val uint64, work uint32) error {
 	s.hits.Add(1)
 	if err := s.journal.LockCtx(ctx); err != nil {
 		return err
 	}
 	s.logLen++
+	s.puts++
+	republish := s.puts%snapshotEvery == 0
 	spinWork(work / 2)
 	s.journal.Unlock()
 
-	if err := s.router.LockCtx(ctx); err != nil {
+	if err := s.routes.PutCtx(ctx, key%TableKeys, val); err != nil {
 		return err
 	}
-	s.table[key%TableKeys] = val
 	spinWork(work)
-	s.puts++
-	if s.puts%snapshotEvery == 0 {
+	if republish {
 		s.publish()
 	}
-	s.router.Unlock()
 	return nil
 }
 
-// Rebuild recomputes the whole routing table under the write lock — the
-// slow bulk update that makes concurrent reads blow their deadlines and
-// exercise the stale-snapshot path — then republishes the snapshot.
+// Rebuild recomputes the whole routing table — the slow bulk update.
+// Each entry goes through the map's cancellable write path with the
+// rebuild's service time spread between entries, so the burst holds the
+// write side busy long enough that concurrent reads blow their
+// deadlines in the blocking modes (and sail through in the epoch mode,
+// at the price of a grace period per entry) — then republishes the
+// snapshot.
 func (s *Service) Rebuild(ctx context.Context, gen uint64, work uint32) error {
 	s.hits.Add(1)
-	if err := s.router.LockCtx(ctx); err != nil {
-		return err
-	}
+	chunk := work / TableKeys
 	for k := uint64(0); k < TableKeys; k++ {
-		s.table[k] = k*k + gen
+		if err := s.routes.PutCtx(ctx, k, k*k+gen); err != nil {
+			return err
+		}
+		spinWork(chunk)
+		if k%32 == 31 {
+			runtime.Gosched()
+		}
 	}
-	spinWorkYielding(work)
 	s.publish()
-	s.router.Unlock()
 	return nil
 }
 

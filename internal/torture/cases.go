@@ -82,6 +82,29 @@ var cases = []Case{
 		},
 	},
 	{
+		Name: "map/conservation",
+		Desc: "Map Put/Delete/Get conservation per owned key range while modes flip end to end",
+		run: func(rc runCtx) error {
+			// Start in the middle of the chain with an always-switch
+			// policy: contended shard acquisitions promote to epoch,
+			// quiet grace periods and uncontended ops demote, so the
+			// fleet drags the map across every transition while each
+			// worker's owned keys must survive exactly.
+			return mapConservationCase(rc,
+				reactive.WithInitialMode(reactive.ModeSharded),
+				reactive.WithPolicy(policy.AlwaysSwitch{}))
+		},
+	},
+	{
+		Name: "map/epoch-churn",
+		Desc: "Epoch-mode readers racing table republish and in-place journal folds",
+		run: func(rc runCtx) error {
+			return mapEpochChurnCase(rc,
+				reactive.WithInitialMode(reactive.ModeEpoch),
+				reactive.WithEmptyLimit(1<<20))
+		},
+	},
+	{
 		Name: "fetchop/max-known-answer",
 		Desc: "Non-commutative-looking fold (max) must converge to the known answer",
 		run: func(rc runCtx) error {
@@ -376,4 +399,130 @@ func fetchOpSumCase(rc runCtx, opts ...reactive.Option) error {
 		return fmt.Errorf("conservation broken: Value = %d, workers contributed %d", got, want)
 	}
 	return f.CheckInvariants()
+}
+
+// mapConservationCase drives a reactive.Map with the full op vocabulary
+// while mode flips churn the chain. Each worker owns a disjoint key
+// range and tracks its own final model; after the fleet joins, the map
+// must agree with every model exactly (no key lost or duplicated by any
+// transition) and the Len gauge must equal the live total. Cross-worker
+// reads assert the value-shape invariant vkey(k) — a value read under
+// any protocol must have been written under that key.
+func mapConservationCase(rc runCtx, opts ...reactive.Option) error {
+	m := reactive.NewMap[int, int](opts...)
+	const span = 64 // keys per worker
+	vkey := func(k, i int) int { return k*1_000_000 + i }
+	models := make([]map[int]int, rc.workers)
+	snap := func() string { return fmt.Sprintf("map: %+v", m.MapStats()) }
+	err := fleet(rc, snap, func(id int, rng *prng) error {
+		model := make(map[int]int)
+		base := id * span
+		for i := 0; i < rc.ops; i++ {
+			k := base + rng.intn(span)
+			switch r := rng.intn(16); {
+			case r < 7: // write an identifiable value
+				v := vkey(k, i)
+				m.Put(k, v)
+				model[k] = v
+			case r < 10:
+				m.Delete(k)
+				delete(model, k)
+			case r < 12: // deadline-bounded write
+				ctx, cancel := context.WithTimeout(context.Background(), rng.µs(50))
+				v := vkey(k, i)
+				if m.PutCtx(ctx, k, v) == nil {
+					model[k] = v
+				}
+				cancel()
+			case r < 14: // cross-worker read; shape-check only
+				fk := rng.intn(rc.workers*span + span)
+				if v, ok := m.Get(fk); ok && v/1_000_000 != fk {
+					return fmt.Errorf("Get(%d) = %d: value written under key %d", fk, v, v/1_000_000)
+				}
+			default: // deadline-bounded read
+				ctx, cancel := context.WithTimeout(context.Background(), rng.µs(50))
+				if v, ok, err := m.GetCtx(ctx, k); err == nil && ok && v/1_000_000 != k {
+					cancel()
+					return fmt.Errorf("GetCtx(%d) = %d: value written under key %d", k, v, v/1_000_000)
+				}
+				cancel()
+			}
+		}
+		models[id] = model
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	live := 0
+	for id, model := range models {
+		live += len(model)
+		for k, want := range model {
+			if v, ok := m.Get(k); !ok || v != want {
+				return fmt.Errorf("worker %d key %d = %d,%v, want %d,true (final state lost)", id, k, v, ok, want)
+			}
+		}
+	}
+	if got := m.Len(); got != live {
+		return fmt.Errorf("conservation broken: Len = %d, models hold %d live keys", got, live)
+	}
+	return m.CheckInvariants()
+}
+
+// mapEpochChurnCase pins the map in the epoch mode and races readers
+// against the republish round trip: every write installs a new table
+// version and mutates the retired copy in place after its grace period,
+// so a reader outliving its grace would observe a torn table — caught
+// by the value-shape invariant and by -race through the map's backing
+// arrays. Writers also verify the published version never regresses.
+func mapEpochChurnCase(rc runCtx, opts ...reactive.Option) error {
+	m := reactive.NewMap[int, int](opts...)
+	const keys = 128
+	for k := 0; k < keys; k++ {
+		m.Put(k, k*1_000_000)
+	}
+	snap := func() string { return fmt.Sprintf("map: %+v", m.MapStats()) }
+	err := fleet(rc, snap, func(id int, rng *prng) error {
+		writer := id%4 == 0 // 1 writer per 4 workers: read-mostly, the epoch regime
+		var lastVer uint64
+		for i := 0; i < rc.ops; i++ {
+			k := rng.intn(keys)
+			if writer {
+				if rng.intn(8) == 0 {
+					m.Delete(k)
+				} else {
+					m.Put(k, k*1_000_000+i)
+				}
+				if ms := m.MapStats(); ms.Version < lastVer {
+					return fmt.Errorf("published version regressed: %d -> %d", lastVer, ms.Version)
+				} else {
+					lastVer = ms.Version
+				}
+				continue
+			}
+			switch rng.intn(16) {
+			case 0: // snapshot storm: Range copies under a stamp
+				n := 0
+				m.Range(func(rk, rv int) bool {
+					if rv/1_000_000 != rk {
+						panic(fmt.Sprintf("Range saw %d under key %d", rv, rk))
+					}
+					n++
+					return n < 8
+				})
+			default:
+				if v, ok := m.Get(k); ok && v/1_000_000 != k {
+					return fmt.Errorf("Get(%d) = %d: value written under key %d (torn or reclaimed table)", k, v, v/1_000_000)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if got := m.Stats().Mode; got != reactive.ModeEpoch {
+		return fmt.Errorf("mode = %v at exit, want epoch (empty limit should pin it)", got)
+	}
+	return m.CheckInvariants()
 }

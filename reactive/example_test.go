@@ -186,3 +186,31 @@ func ExampleRWMutex() {
 	fmt.Println(config["mode"])
 	// Output: safe
 }
+
+// ExampleMap shows the adaptive hash map walking its protocol chain
+// under forced initial modes: one locked table for cheap uncontended
+// use, per-shard locks under mixed contention, and a published
+// immutable table for read-mostly saturation — where a lookup writes no
+// shared cache line and writers pay a journaled republish plus a grace
+// period. Detection walks the chain automatically; WithInitialMode
+// starts at a stage directly.
+func ExampleMap() {
+	for _, mode := range []reactive.Mode{
+		reactive.ModeLocked, reactive.ModeSharded, reactive.ModeEpoch,
+	} {
+		m := reactive.NewMap[string, int](reactive.WithInitialMode(mode))
+		m.Put("requests", 1)
+		m.Put("errors", 0)
+		if n, ok := m.Get("requests"); ok {
+			m.Put("requests", n+41)
+		}
+		m.Delete("errors")
+
+		v, _ := m.Get("requests")
+		fmt.Printf("%s: requests=%d len=%d\n", m.Stats().Mode, v, m.Len())
+	}
+	// Output:
+	// locked: requests=42 len=1
+	// sharded: requests=42 len=1
+	// epoch: requests=42 len=1
+}

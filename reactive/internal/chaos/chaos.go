@@ -71,6 +71,15 @@ const (
 	PtFopFoldHarvest    = "fetchop.fold.harvest"
 	PtFopValueSweep     = "fetchop.value.sweep"
 	PtFopSweepRelease   = "fetchop.sweep.release"
+
+	// Map: the three proof-critical windows of the epoch-mode republish
+	// protocol — a mutation resting in the journal before it reaches any
+	// table, the instant a new table version is published while readers
+	// may still hold the old one, and the grace-period sweep that proves
+	// the retired table reader-free before it is mutated in place.
+	PtMapJournalDeposit = "map.journal.deposit"
+	PtMapTablePublish   = "map.table.publish"
+	PtMapGraceSweep     = "map.grace.sweep"
 )
 
 // catalog is the canonical ordered list of instrumented fault points. A
@@ -87,6 +96,7 @@ var catalog = func() []string {
 		PtRWEpochStamp, PtRWEpochOffline,
 		PtRWWriterClaimed, PtRWDrainUndo, PtRWTryLockUndo, PtRWUnlockRelease,
 		PtFopCombineDeposit, PtFopFoldHarvest, PtFopValueSweep, PtFopSweepRelease,
+		PtMapJournalDeposit, PtMapTablePublish, PtMapGraceSweep,
 	}
 	sort.Strings(pts)
 	return pts

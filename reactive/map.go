@@ -1,0 +1,951 @@
+package reactive
+
+import (
+	"context"
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"repro/reactive/internal/affinity"
+	"repro/reactive/internal/chaos"
+	"repro/reactive/internal/waitq"
+	"repro/reactive/modal"
+)
+
+// Map's engine-local mode indices (the public modes they correspond to
+// are ModeLocked, ModeSharded, and ModeEpoch; see mapPublicMode and
+// MapTable).
+const (
+	mapLocked  modal.Mode = 0
+	mapSharded modal.Mode = 1
+	mapEpoch   modal.Mode = 2
+)
+
+// mapModeTable is Map's 3-mode transition table: a chain from the
+// single-lock protocol through hash-sharded locks to the published
+// immutable table, with no shortcut edges — like every other chain in
+// this package, the map scales up and down one protocol at a time. It
+// is the first table in the package attached to a data structure rather
+// than a synchronization primitive: the engine, the detection plumbing,
+// and the policy interface are reused unchanged.
+var mapModeTable = modal.NewTable(3, []modal.Transition{
+	{From: mapLocked, To: mapSharded, Dir: dirScaleUp, Residual: ResidualCheapHigh},
+	{From: mapSharded, To: mapLocked, Dir: dirScaleDown, Residual: ResidualScalableLow},
+	{From: mapSharded, To: mapEpoch, Dir: dirScaleUp, Residual: ResidualCheapHigh},
+	{From: mapEpoch, To: mapSharded, Dir: dirScaleDown, Residual: ResidualScalableLow},
+})
+
+// MapTable returns the transition table Map runs on: mode index 0 =
+// ModeLocked, 1 = ModeSharded, 2 = ModeEpoch. The table is immutable
+// and shared; it is exported so harnesses and experiments can drive the
+// exact state machine the map uses rather than a hand-maintained copy.
+func MapTable() *modal.Table { return mapModeTable }
+
+// mapPublicMode maps an engine-local mode index to the public Mode.
+func mapPublicMode(m modal.Mode) Mode {
+	switch m {
+	case mapSharded:
+		return ModeSharded
+	case mapEpoch:
+		return ModeEpoch
+	}
+	return ModeLocked
+}
+
+// mapShard is one sharded-mode partition: a spin word and the partition
+// map, padded so neighboring shard locks never share a coherence
+// granule. The lock is a plain test-and-set word (not a Mutex): shard
+// critical sections are single bounded map operations, so parking
+// machinery would cost more than the longest possible wait.
+type mapShard[K comparable, V any] struct {
+	lock atomic.Uint32
+	m    map[K]V
+	_    [affinity.CacheLineSize - 16]byte
+}
+
+// mapVersion is one published epoch-mode table: an immutable-while-
+// published map and the version number it was installed under.
+type mapVersion[K comparable, V any] struct {
+	m   map[K]V
+	ver uint64
+}
+
+// mapMut is one journaled epoch-mode mutation.
+type mapMut[K comparable, V any] struct {
+	key K
+	val V
+	del bool
+}
+
+// Map is a reactive concurrent hash map — the first adaptive *data
+// structure* in this package, demonstrating that the modal engine
+// generalizes past locks: the same transition table, streak detection,
+// Vote/Good/TryCommit plumbing, and installable policy.Congestion that
+// drive Mutex and FetchOp here select among three map protocols as the
+// access pattern changes:
+//
+//   - ModeLocked — one hash table guarded by the adaptive Mutex. One
+//     lock word per operation; the zero-value default, cheapest while
+//     operations rarely collide.
+//   - ModeSharded — a power-of-two array of hash-partitioned shards,
+//     each under its own padded spin word. Operations on different
+//     shards proceed in parallel; contention on one key's shard is the
+//     detection signal in both directions.
+//   - ModeEpoch — a read-mostly copy-on-write table in the userspace-
+//     RCU style: Get pins, stamps a per-P epoch cell, and reads an
+//     atomically published immutable table, writing nothing outside
+//     its own cache-line-padded cell — contended reads generate zero
+//     shared-cacheline coherence traffic. Put and Delete buffer the
+//     mutation into a journal under the writer lock, fold it into the
+//     off-line table copy, publish that copy as the new version, and
+//     run a grace-period sweep (the RWMutex epoch protocol's sweep,
+//     reused structurally) proving the retired copy reader-free before
+//     it is mutated in place for the next round.
+//
+// Reads that arrive during an epoch-mode writer's grace claim fall back
+// to the writer lock, so writers cannot starve; a Get never blocks a
+// Get. Mode transitions run as a writer-drain-style consensus — writer
+// lock plus every shard lock, or writer lock plus a completed grace
+// period — and move every key exactly once, so no transition can lose
+// or duplicate a key.
+//
+// The zero value is an empty ModeLocked map ready for use. A Map must
+// not be copied after first use. All methods are safe for concurrent
+// use; Range and Len are weakly consistent snapshots, as in sync.Map.
+type Map[K comparable, V any] struct {
+	// wl is the writer lock: the ModeLocked table lock, the epoch-mode
+	// writer serializer, and the transition lock, in every mode. It is
+	// itself adaptive (spin ↔ park), so the locked mode inherits the
+	// mutex chain's waiting behavior, and its waitq gives GetCtx and
+	// PutCtx their cancellable parked waits.
+	wl Mutex
+
+	eng modal.Engine
+	cfg config
+
+	// count is the live-key gauge, maintained under each mode's
+	// exclusion so Len is O(1) in every mode.
+	count atomic.Int64
+
+	// table is the ModeLocked store; guarded by wl.
+	table map[K]V
+
+	// Sharded-mode state. The shard for a key is chosen by hash, not by
+	// the affinity.Pin P-index the per-P cells use: a map shard is data
+	// placement — every operation on one key must reach one partition
+	// whatever processor it runs on — so the exact-P index that works
+	// for commutative per-P cells (Counter, FetchOp) would scatter one
+	// key across shards here. The affinity substrate still sizes the
+	// array (next power of two ≥ GOMAXPROCS).
+	seed       maphash.Seed
+	shards     []mapShard[K, V]
+	shardsOnce sync.Once
+	shardsUp   atomic.Bool
+
+	// Epoch-mode state: the published table (cur), the off-line copy
+	// the next writer folds into (spare, guarded by wl), the mutation
+	// journal (guarded by wl; entries deposited but not yet folded into
+	// both copies), and the gate/cell grace-period machinery, laid out
+	// exactly as RWMutex's (rgClaim/rgEpoch/rgGraceMask packing).
+	cur     atomic.Pointer[mapVersion[K, V]]
+	spare   *mapVersion[K, V]
+	journal []mapMut[K, V]
+	jdepth  atomic.Int64
+	version atomic.Uint64
+	gate    atomic.Int64
+	gq      waitq.Queue
+
+	ecells     []affinity.EpochCell
+	ecellsOnce sync.Once
+	ecellsUp   atomic.Bool
+
+	graces      atomic.Uint64
+	quietGraces atomic.Uint64
+}
+
+// NewMap builds a Map with the given options. NewMap() is equivalent to
+// a zero-value Map; WithInitialMode accepts ModeLocked, ModeSharded,
+// and ModeEpoch.
+func NewMap[K comparable, V any](opts ...Option) *Map[K, V] {
+	mp := &Map[K, V]{}
+	mp.cfg.apply(opts)
+	mp.eng.SetPolicy(mp.cfg.pol)
+	// The writer lock inherits the tunables but never the policy: a
+	// policy.Policy is single-primitive state, and it belongs to the
+	// map's own engine.
+	mp.wl.cfg = config{
+		spinFailLimit: mp.cfg.spinFailLimit,
+		emptyLimit:    mp.cfg.emptyLimit,
+		pollIters:     mp.cfg.pollIters,
+	}
+	mp.applyInitMode()
+	return mp
+}
+
+// applyInitMode walks the transition chain to the configured initial
+// mode at construction time, before the map is shared (see
+// WithInitialMode).
+func (mp *Map[K, V]) applyInitMode() {
+	if !mp.cfg.initModeSet {
+		return
+	}
+	switch mp.cfg.initMode {
+	case ModeLocked: // the zero mode
+	case ModeSharded:
+		mp.switchMap(mapLocked, mapSharded)
+	case ModeEpoch:
+		mp.switchMap(mapLocked, mapSharded)
+		mp.switchMap(mapSharded, mapEpoch)
+	default:
+		panic("reactive: Map supports initial modes ModeLocked, ModeSharded, and ModeEpoch")
+	}
+}
+
+// shardsInit lazily builds the shard array and the hash seed, exactly
+// once, before the sharded mode is ever published.
+func (mp *Map[K, V]) shardsInit() {
+	mp.shardsOnce.Do(func() {
+		mp.seed = maphash.MakeSeed()
+		mp.shards = make([]mapShard[K, V], affinity.Shards())
+		mp.shardsUp.Store(true)
+	})
+}
+
+// epochCellsInit lazily builds the per-P epoch cells, exactly once,
+// before the epoch mode is ever published.
+func (mp *Map[K, V]) epochCellsInit() {
+	mp.ecellsOnce.Do(func() {
+		mp.ecells = make([]affinity.EpochCell, affinity.Shards())
+		mp.ecellsUp.Store(true)
+	})
+}
+
+// shardIndex places a key: hash, masked into the power-of-two array.
+func (mp *Map[K, V]) shardIndex(key K) int {
+	return int(maphash.Comparable(mp.seed, key)) & (len(mp.shards) - 1)
+}
+
+// lockW acquires the writer lock, reporting whether the acquisition
+// contended (the ModeLocked detection signal). A nil done means the
+// uncancellable path.
+func (mp *Map[K, V]) lockW(ctx context.Context, done <-chan struct{}) (contended bool, err error) {
+	if mp.wl.TryLock() {
+		return false, nil
+	}
+	if done == nil {
+		mp.wl.Lock()
+		return true, nil
+	}
+	if err := mp.wl.LockCtx(ctx); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// lockShard acquires one shard's spin word, reporting whether the
+// acquisition contended. Shard critical sections are single bounded map
+// operations, so the loop spins with randomized backoff and never
+// parks; a cancellable caller's done aborts between pauses.
+func (mp *Map[K, V]) lockShard(l *atomic.Uint32, ctx context.Context, done <-chan struct{}) (contended bool, err error) {
+	if l.CompareAndSwap(0, 1) {
+		return false, nil
+	}
+	var bo modal.Backoff
+	bo.Max = backoffCeiling
+	for {
+		if done != nil {
+			select {
+			case <-done:
+				return true, ctx.Err()
+			default:
+			}
+		}
+		if l.Load() == 0 && l.CompareAndSwap(0, 1) {
+			return true, nil
+		}
+		bo.Pause()
+	}
+}
+
+func (mp *Map[K, V]) unlockShard(l *atomic.Uint32) { l.Store(0) }
+
+// lockAllShards acquires every shard lock in index order — one half of
+// the transition consensus: with wl and all shard locks held, no
+// operation is inside any protocol (locked ops hold wl, sharded ops
+// hold their shard, and both revalidate the mode after acquiring).
+func (mp *Map[K, V]) lockAllShards() {
+	for i := range mp.shards {
+		mp.lockShard(&mp.shards[i].lock, nil, nil)
+	}
+}
+
+func (mp *Map[K, V]) unlockAllShards() {
+	for i := range mp.shards {
+		mp.unlockShard(&mp.shards[i].lock)
+	}
+}
+
+// noteLocked runs ModeLocked's detection after the operation released
+// wl: a contended acquisition is the scale-up signal, an uncontended
+// one breaks the streak.
+func (mp *Map[K, V]) noteLocked(contended bool) {
+	if !contended {
+		mp.eng.Good(mapModeTable, mapLocked, mapSharded)
+		return
+	}
+	if mp.eng.Vote(mapModeTable, mapLocked, mapSharded, mp.cfg.failLimit()) {
+		mp.switchMap(mapLocked, mapSharded)
+	}
+}
+
+// noteSharded runs ModeSharded's detection after the operation released
+// its shard. An uncontended operation votes down toward the single
+// lock; a contended *read* votes up toward the epoch protocol (readers
+// colliding on a shard word is exactly the coherence traffic the
+// published-table mode eliminates), while a contended write only breaks
+// the down-streak — promoting a write-heavy map would tax every write
+// with a grace period.
+func (mp *Map[K, V]) noteSharded(contended, read bool) {
+	if !contended {
+		mp.eng.Good(mapModeTable, mapSharded, mapEpoch)
+		if mp.eng.Vote(mapModeTable, mapSharded, mapLocked, mp.cfg.emptyLim()) {
+			mp.switchMap(mapSharded, mapLocked)
+		}
+		return
+	}
+	mp.eng.Good(mapModeTable, mapSharded, mapLocked)
+	if read {
+		if mp.eng.Vote(mapModeTable, mapSharded, mapEpoch, mp.cfg.failLimit()) {
+			mp.switchMap(mapSharded, mapEpoch)
+		}
+	} else {
+		mp.eng.Good(mapModeTable, mapSharded, mapEpoch)
+	}
+}
+
+// switchMap performs one transition of the chain under the full
+// consensus: wl, plus every shard lock when the sharded store is in
+// play. Every op revalidates the mode after acquiring its own lock, so
+// with all locks held no operation is mid-protocol and the key move is
+// atomic — no transition can lose or duplicate a key. The epoch →
+// sharded edge is not handled here: it commits inside graceSweep, under
+// the writer's claim, where reader exclusion is already proved.
+func (mp *Map[K, V]) switchMap(want, next modal.Mode) {
+	mp.wl.Lock()
+	defer mp.wl.Unlock()
+	if mp.eng.Mode() != want {
+		return // lost the race to another transition
+	}
+	switch {
+	case want == mapLocked && next == mapSharded:
+		mp.shardsInit()
+		mp.lockAllShards()
+		for k, v := range mp.table {
+			sh := &mp.shards[mp.shardIndex(k)]
+			if sh.m == nil {
+				sh.m = make(map[K]V)
+			}
+			sh.m[k] = v
+		}
+		mp.eng.TryCommit(mapModeTable, mapLocked, mapSharded)
+		mp.unlockAllShards()
+		mp.table = nil
+	case want == mapSharded && next == mapLocked:
+		mp.lockAllShards()
+		merged := make(map[K]V, mp.count.Load())
+		for i := range mp.shards {
+			for k, v := range mp.shards[i].m {
+				merged[k] = v
+			}
+			mp.shards[i].m = nil
+		}
+		mp.table = merged
+		mp.eng.TryCommit(mapModeTable, mapSharded, mapLocked)
+		mp.unlockAllShards()
+	case want == mapSharded && next == mapEpoch:
+		mp.epochCellsInit()
+		mp.lockAllShards()
+		n := int(mp.count.Load())
+		pub := make(map[K]V, n)
+		off := make(map[K]V, n)
+		for i := range mp.shards {
+			for k, v := range mp.shards[i].m {
+				pub[k] = v
+				off[k] = v
+			}
+			mp.shards[i].m = nil
+		}
+		mp.cur.Store(&mapVersion[K, V]{m: pub, ver: mp.version.Add(1)})
+		mp.spare = &mapVersion[K, V]{m: off}
+		// Raise the gate's mode bit before the commit publishes the
+		// mode, so the first Get that dispatches to the epoch path
+		// validates successfully. No claim: the spare has never been
+		// published, so its in-place mutation needs no grace period.
+		mp.gate.Store(mp.gate.Load() | rgEpoch)
+		mp.eng.TryCommit(mapModeTable, mapSharded, mapEpoch)
+		mp.unlockAllShards()
+	}
+}
+
+// Get reports the value stored under key. In ModeEpoch the fast path
+// performs no allocation and writes nothing outside its own per-P
+// cache-line-padded cell.
+func (mp *Map[K, V]) Get(key K) (V, bool) {
+	v, ok, _ := mp.get(nil, nil, key)
+	return v, ok
+}
+
+// GetCtx is Get with cancellable blocking: if ctx has already ended,
+// or the lookup must wait on the writer lock or a shard lock and ctx
+// ends first, it returns ctx.Err(). The epoch-mode fast path never
+// blocks, but the entry check still fires — a dead context never
+// observes the map, matching LockCtx/RLockCtx.
+func (mp *Map[K, V]) GetCtx(ctx context.Context, key K) (V, bool, error) {
+	if err := ctx.Err(); err != nil {
+		var zero V
+		return zero, false, err
+	}
+	return mp.get(ctx, ctx.Done(), key)
+}
+
+func (mp *Map[K, V]) get(ctx context.Context, done <-chan struct{}, key K) (V, bool, error) {
+	var zero V
+	for {
+		switch mp.eng.Mode() {
+		case mapLocked:
+			contended, err := mp.lockW(ctx, done)
+			if err != nil {
+				return zero, false, err
+			}
+			if mp.eng.Mode() != mapLocked {
+				mp.wl.Unlock()
+				continue
+			}
+			v, ok := mp.table[key]
+			mp.wl.Unlock()
+			mp.noteLocked(contended)
+			return v, ok, nil
+		case mapSharded:
+			sh := &mp.shards[mp.shardIndex(key)]
+			contended, err := mp.lockShard(&sh.lock, ctx, done)
+			if err != nil {
+				return zero, false, err
+			}
+			if mp.eng.Mode() != mapSharded {
+				mp.unlockShard(&sh.lock)
+				continue
+			}
+			v, ok := sh.m[key]
+			mp.unlockShard(&sh.lock)
+			mp.noteSharded(contended, true)
+			return v, ok, nil
+		default: // mapEpoch
+			if v, ok, valid := mp.getEpoch(key); valid {
+				return v, ok, nil
+			}
+			// A writer's grace claim is in place (or the mode just
+			// moved): read authoritatively under the writer lock, so
+			// writers cannot starve behind a read storm.
+			if _, err := mp.lockW(ctx, done); err != nil {
+				return zero, false, err
+			}
+			if mp.eng.Mode() != mapEpoch {
+				mp.wl.Unlock()
+				continue
+			}
+			v, ok := mp.cur.Load().m[key]
+			mp.wl.Unlock()
+			return v, ok, nil
+		}
+	}
+}
+
+// getEpoch attempts one epoch-mode read: publish an online stamp in
+// this P's cell, validate against the gate that the epoch mode is still
+// selected and no writer claim is in place, and read the published
+// table. Either validation failing undoes the stamp and reports invalid
+// (the caller falls back to the writer lock). The exclusion argument is
+// RWMutex's epoch registration argument verbatim: the cell increment is
+// a sequentially consistent RMW preceding this goroutine's gate load,
+// and a claiming writer stores the claim before its first cell sweep,
+// so a claim-free gate load proves the stamp visible to every sweep of
+// that grace period — the published table cannot be retired and mutated
+// while this reader is inside it.
+func (mp *Map[K, V]) getEpoch(key K) (v V, ok, valid bool) {
+	cells := mp.ecells // non-nil: built before mapEpoch was published
+	c := &cells[affinity.Pin()&(len(cells)-1)]
+	c.Cnt.Add(1)
+	g := mp.gate.Load()
+	if g < rgEpoch {
+		affinity.Unpin()
+		mp.unstamp(c)
+		return v, false, false
+	}
+	// Record the grace epoch observed; the store is to this P's own
+	// cell and skipped when already current, so steady-state reads keep
+	// the cell line exclusive and touch no shared line at all.
+	if e := uint64(g & rgGraceMask); c.Seen.Load() != e {
+		c.Seen.Store(e)
+	}
+	affinity.Unpin()
+	v, ok = mp.cur.Load().m[key]
+	mp.unstamp(c)
+	return v, ok, true
+}
+
+// unstamp takes one epoch reader offline and nudges a writer whose
+// grace period is parked waiting for the cell sum to drain.
+func (mp *Map[K, V]) unstamp(c *affinity.EpochCell) {
+	c.Cnt.Add(-1)
+	if mp.gate.Load() < 0 {
+		mp.gq.Grant()
+	}
+}
+
+// Put stores val under key.
+func (mp *Map[K, V]) Put(key K, val V) {
+	mp.put(nil, nil, key, val, false)
+}
+
+// PutCtx is Put with cancellable blocking: if ctx has already ended,
+// or the store must wait on the writer lock or a shard lock and ctx
+// ends first, it returns ctx.Err() with the map unchanged. Once the
+// locks are held the mutation always completes — in ModeEpoch that
+// includes the grace period (bounded: epoch readers run no user code),
+// so a mutation is never half-published.
+func (mp *Map[K, V]) PutCtx(ctx context.Context, key K, val V) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return mp.put(ctx, ctx.Done(), key, val, false)
+}
+
+// Delete removes the value stored under key, if any.
+func (mp *Map[K, V]) Delete(key K) {
+	mp.put(nil, nil, key, *new(V), true)
+}
+
+func (mp *Map[K, V]) put(ctx context.Context, done <-chan struct{}, key K, val V, del bool) error {
+	for {
+		switch mp.eng.Mode() {
+		case mapLocked:
+			contended, err := mp.lockW(ctx, done)
+			if err != nil {
+				return err
+			}
+			if mp.eng.Mode() != mapLocked {
+				mp.wl.Unlock()
+				continue
+			}
+			if del {
+				if _, ok := mp.table[key]; ok {
+					delete(mp.table, key)
+					mp.count.Add(-1)
+				}
+			} else {
+				if mp.table == nil {
+					mp.table = make(map[K]V)
+				}
+				if _, ok := mp.table[key]; !ok {
+					mp.count.Add(1)
+				}
+				mp.table[key] = val
+			}
+			mp.wl.Unlock()
+			mp.noteLocked(contended)
+			return nil
+		case mapSharded:
+			sh := &mp.shards[mp.shardIndex(key)]
+			contended, err := mp.lockShard(&sh.lock, ctx, done)
+			if err != nil {
+				return err
+			}
+			if mp.eng.Mode() != mapSharded {
+				mp.unlockShard(&sh.lock)
+				continue
+			}
+			if del {
+				if _, ok := sh.m[key]; ok {
+					delete(sh.m, key)
+					mp.count.Add(-1)
+				}
+			} else {
+				if sh.m == nil {
+					sh.m = make(map[K]V)
+				}
+				if _, ok := sh.m[key]; !ok {
+					mp.count.Add(1)
+				}
+				sh.m[key] = val
+			}
+			mp.unlockShard(&sh.lock)
+			mp.noteSharded(contended, false)
+			return nil
+		default: // mapEpoch
+			if _, err := mp.lockW(ctx, done); err != nil {
+				return err
+			}
+			if mp.eng.Mode() != mapEpoch {
+				mp.wl.Unlock()
+				continue
+			}
+			mp.putEpoch(key, val, del)
+			mp.wl.Unlock()
+			return nil
+		}
+	}
+}
+
+// putEpoch applies one epoch-mode mutation, under wl. The republish
+// round trip: deposit the mutation in the journal, fold the journal
+// into the off-line copy, publish that copy as the new table version,
+// run a grace period proving the retired copy reader-free, then fold
+// the journal into the retired copy so both copies are equal again and
+// the journal empties. Between writers the journal is empty and the
+// spare is a full replica — the invariant CheckInvariants verifies.
+func (mp *Map[K, V]) putEpoch(key K, val V, del bool) {
+	// Deposit. Until the fold below, the mutation exists only here —
+	// the window the map.journal.deposit fault point opens.
+	mp.journal = append(mp.journal, mapMut[K, V]{key: key, val: val, del: del})
+	mp.jdepth.Store(int64(len(mp.journal)))
+	chaos.Point("map.journal.deposit")
+
+	// Fold into the off-line copy. In-place mutation is safe because
+	// the grace period that retired this copy proved it reader-free,
+	// and no reader has been able to reach it since (cur no longer
+	// points at it).
+	spare := mp.spare
+	for i := range mp.journal {
+		mu := &mp.journal[i]
+		if mu.del {
+			if _, ok := spare.m[mu.key]; ok {
+				delete(spare.m, mu.key)
+				mp.count.Add(-1)
+			}
+		} else {
+			if _, ok := spare.m[mu.key]; !ok {
+				mp.count.Add(1)
+			}
+			spare.m[mu.key] = mu.val
+		}
+	}
+
+	// Publish: one atomic store installs the new version; readers that
+	// loaded the old pointer are still inside it — the window the
+	// map.table.publish fault point opens, closed by the grace period.
+	spare.ver = mp.version.Add(1)
+	retired := mp.cur.Load()
+	mp.cur.Store(spare)
+	mp.spare = retired
+	chaos.Point("map.table.publish")
+
+	if demoted := mp.graceSweep(); !demoted {
+		// Bring the retired copy up to date for the next round. No
+		// count accounting: the fold above already counted these
+		// mutations once.
+		for i := range mp.journal {
+			mu := &mp.journal[i]
+			if mu.del {
+				delete(mp.spare.m, mu.key)
+			} else {
+				mp.spare.m[mu.key] = mu.val
+			}
+		}
+	}
+	mp.journal = mp.journal[:0]
+	mp.jdepth.Store(0)
+}
+
+// graceSweep runs one grace period, under wl: claim the gate (advancing
+// the global grace epoch), wait until every reader that might hold the
+// retired table has gone offline, run the epoch protocol's scale-down
+// detection, and release the claim. The wait is two-phase (poll through
+// the budget, then park on gq, granted by unstamp) and uncancellable —
+// epoch read sections run no user code, so it is bounded. Reports
+// whether detection demoted the map out of the epoch mode; in that case
+// the commit ran here, under the claim, where reader exclusion is
+// already proved, and the gate's mode bit was lowered with the claim.
+func (mp *Map[K, V]) graceSweep() (demoted bool) {
+	g := mp.gate.Load()
+	mp.gate.Store((g &^ rgGraceMask) | rgClaim | ((g + 1) & rgGraceMask))
+	chaos.Point("map.grace.sweep")
+	idle := mp.cellSum() == 0
+	if !idle {
+		if ok, _ := modal.PollCh(mp.cfg.pollBudget(), nil, func() bool { return mp.cellSum() == 0 }); !ok {
+			mp.parkGrace()
+		}
+	}
+	mp.graces.Add(1)
+	if idle {
+		// A quiet grace period: the published table went unread across
+		// a whole writer round — the write-dominated regime where the
+		// copy-on-write machinery is pure overhead.
+		mp.quietGraces.Add(1)
+		if mp.eng.Vote(mapModeTable, mapEpoch, mapSharded, mp.cfg.emptyLim()) {
+			mp.shardsInit()
+			mp.lockAllShards()
+			for k, v := range mp.cur.Load().m {
+				sh := &mp.shards[mp.shardIndex(k)]
+				if sh.m == nil {
+					sh.m = make(map[K]V)
+				}
+				sh.m[k] = v
+			}
+			mp.eng.TryCommit(mapModeTable, mapEpoch, mapSharded)
+			mp.unlockAllShards()
+			mp.spare = nil
+			mp.gate.Store(mp.gate.Load() &^ (rgClaim | rgEpoch))
+			return true
+		}
+	} else {
+		mp.eng.Good(mapModeTable, mapEpoch, mapSharded)
+	}
+	mp.gate.Store(mp.gate.Load() &^ rgClaim)
+	return false
+}
+
+// parkGrace is the grace period's phase-two wait: park on gq until the
+// last online reader grants a re-sweep. At most one writer sweeps at a
+// time (wl is held), so the queue holds at most one node; announce-
+// then-check against the cell sum closes the race with a reader that
+// went offline before the announce.
+func (mp *Map[K, V]) parkGrace() {
+	w := waitq.Get()
+	defer waitq.Put(w)
+	for {
+		mp.gq.Push(w)
+		if mp.cellSum() == 0 {
+			mp.gq.Abandon(w)
+			return
+		}
+		<-w.Ready()
+		if mp.cellSum() == 0 {
+			return
+		}
+	}
+}
+
+// cellSum sweeps the epoch cells. Stamps are internal add-then-remove
+// pairs, so unlike RWMutex's epochSum a negative transient would be a
+// package bug, not caller misuse; CheckInvariants verifies zero at
+// quiescence.
+func (mp *Map[K, V]) cellSum() int64 {
+	var sum int64
+	for i := range mp.ecells {
+		sum += mp.ecells[i].Cnt.Load()
+	}
+	return sum
+}
+
+// Len reports the number of keys in the map. It is an O(1) gauge read,
+// weakly consistent under concurrent mutation.
+func (mp *Map[K, V]) Len() int { return int(mp.count.Load()) }
+
+// Range calls fn for every key/value pair in a weakly consistent
+// snapshot of the map, stopping early if fn returns false. The snapshot
+// is taken first and fn runs on it afterward, so fn is never invoked
+// under any Map lock and may itself call back into the map.
+func (mp *Map[K, V]) Range(fn func(key K, val V) bool) {
+	for k, v := range mp.snapshot() {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// snapshot copies the map's current contents under the current mode's
+// exclusion, retrying if a transition moves the mode mid-copy.
+func (mp *Map[K, V]) snapshot() map[K]V {
+	for {
+		switch mp.eng.Mode() {
+		case mapLocked:
+			mp.wl.Lock()
+			if mp.eng.Mode() != mapLocked {
+				mp.wl.Unlock()
+				continue
+			}
+			out := make(map[K]V, len(mp.table))
+			for k, v := range mp.table {
+				out[k] = v
+			}
+			mp.wl.Unlock()
+			return out
+		case mapSharded:
+			out := make(map[K]V, mp.count.Load())
+			ok := true
+			for i := range mp.shards {
+				sh := &mp.shards[i]
+				mp.lockShard(&sh.lock, nil, nil)
+				if mp.eng.Mode() != mapSharded {
+					mp.unlockShard(&sh.lock)
+					ok = false
+					break
+				}
+				for k, v := range sh.m {
+					out[k] = v
+				}
+				mp.unlockShard(&sh.lock)
+			}
+			if ok {
+				return out
+			}
+		default: // mapEpoch
+			if out, valid := mp.snapshotEpoch(); valid {
+				return out
+			}
+			mp.wl.Lock()
+			if mp.eng.Mode() != mapEpoch {
+				mp.wl.Unlock()
+				continue
+			}
+			t := mp.cur.Load()
+			out := make(map[K]V, len(t.m))
+			for k, v := range t.m {
+				out[k] = v
+			}
+			mp.wl.Unlock()
+			return out
+		}
+	}
+}
+
+// snapshotEpoch copies the published table under an online stamp — the
+// copy (bounded, no user code) is the only work an epoch-mode grace
+// period ever waits on besides lookups.
+func (mp *Map[K, V]) snapshotEpoch() (map[K]V, bool) {
+	cells := mp.ecells
+	c := &cells[affinity.Pin()&(len(cells)-1)]
+	c.Cnt.Add(1)
+	g := mp.gate.Load()
+	if g < rgEpoch {
+		affinity.Unpin()
+		mp.unstamp(c)
+		return nil, false
+	}
+	if e := uint64(g & rgGraceMask); c.Seen.Load() != e {
+		c.Seen.Store(e)
+	}
+	affinity.Unpin()
+	t := mp.cur.Load()
+	out := make(map[K]V, len(t.m))
+	for k, v := range t.m {
+		out[k] = v
+	}
+	mp.unstamp(c)
+	return out, true
+}
+
+// MapStats extends the unified Stats shape with the map's own gauges
+// and grace-period counters.
+type MapStats struct {
+	Stats
+	// Shards is the shard-array size, 0 until the sharded store has
+	// been built. A gauge.
+	Shards int `json:"shards"`
+	// Version is the published-table version: how many epoch-mode
+	// tables have ever been installed. Monotonic.
+	Version uint64 `json:"version"`
+	// Journal is the pending mutation-journal depth — nonzero only
+	// inside an epoch-mode writer's republish round trip. A gauge.
+	Journal int `json:"journal"`
+	// Graces counts completed epoch-mode grace periods; QuietGraces
+	// counts those that found no online reader at all (the scale-down
+	// signal). Monotonic.
+	Graces      uint64 `json:"graces"`
+	QuietGraces uint64 `json:"quiet_graces"`
+}
+
+// Stats returns a snapshot of the map's adaptive state in the unified
+// shape: the current protocol, the lifetime transition count, and the
+// number of goroutines parked on the writer lock or a grace period.
+func (mp *Map[K, V]) Stats() Stats {
+	return Stats{
+		Mode:     mapPublicMode(mp.eng.Mode()),
+		Switches: mp.eng.Switches(),
+		Waiters:  mp.wl.Stats().Waiters + mp.gq.Len(),
+	}
+}
+
+// MapStats returns Stats plus the map-specific gauges.
+func (mp *Map[K, V]) MapStats() MapStats {
+	ms := MapStats{
+		Stats:       mp.Stats(),
+		Version:     mp.version.Load(),
+		Journal:     int(mp.jdepth.Load()),
+		Graces:      mp.graces.Load(),
+		QuietGraces: mp.quietGraces.Load(),
+	}
+	if mp.shardsUp.Load() {
+		ms.Shards = len(mp.shards)
+	}
+	return ms
+}
+
+// CheckInvariants verifies the map's quiescent-state invariants: the
+// writer lock is free and sound, every shard lock is free, the epoch
+// gate carries no claim and its mode bit agrees with the engine, the
+// epoch cells sum to zero, the journal is empty, no grace waiter is
+// parked, the published table's version equals the (monotone) version
+// counter, the off-line copy is a full replica of the published table,
+// and the live-key gauge equals the key count of the current mode's
+// authoritative store. See the package note in check.go: quiescent
+// diagnostics, not production code.
+func (mp *Map[K, V]) CheckInvariants() error {
+	if err := mp.wl.CheckInvariants(); err != nil {
+		return fmt.Errorf("reactive: Map writer mutex: %w", err)
+	}
+	if err := mp.eng.Check(mapModeTable); err != nil {
+		return fmt.Errorf("reactive: Map engine: %w", err)
+	}
+	if mp.shardsUp.Load() {
+		for i := range mp.shards {
+			if l := mp.shards[i].lock.Load(); l != 0 {
+				return fmt.Errorf("reactive: Map shard %d lock held at quiescence", i)
+			}
+		}
+	}
+	g := mp.gate.Load()
+	if g&rgClaim != 0 {
+		return fmt.Errorf("reactive: Map epoch gate carries a writer claim at quiescence (gate %#x)", uint64(g))
+	}
+	if gateEpoch, engEpoch := g&rgEpoch != 0, mp.eng.Mode() == mapEpoch; gateEpoch != engEpoch {
+		return fmt.Errorf("reactive: Map epoch gate mode bit %v disagrees with mode %d", gateEpoch, mp.eng.Mode())
+	}
+	if mp.ecellsUp.Load() {
+		if sum := mp.cellSum(); sum != 0 {
+			return fmt.Errorf("reactive: Map epoch cell deltas sum to %d at quiescence, want 0", sum)
+		}
+	}
+	if n := len(mp.journal); n != 0 {
+		return fmt.Errorf("reactive: Map journal holds %d mutations at quiescence, want 0", n)
+	}
+	if n := mp.gq.Len(); n != 0 {
+		return fmt.Errorf("reactive: Map has %d grace waiters at quiescence", n)
+	}
+	if err := mp.gq.Check(); err != nil {
+		return fmt.Errorf("reactive: Map grace queue: %w", err)
+	}
+	live := 0
+	switch mp.eng.Mode() {
+	case mapLocked:
+		live = len(mp.table)
+	case mapSharded:
+		for i := range mp.shards {
+			live += len(mp.shards[i].m)
+		}
+	default:
+		t := mp.cur.Load()
+		live = len(t.m)
+		if t.ver != mp.version.Load() {
+			return fmt.Errorf("reactive: Map published table version %d != version counter %d", t.ver, mp.version.Load())
+		}
+		if mp.spare != nil && len(mp.spare.m) != live {
+			return fmt.Errorf("reactive: Map off-line copy holds %d keys, published table holds %d", len(mp.spare.m), live)
+		}
+	}
+	if c := mp.count.Load(); int(c) != live {
+		return fmt.Errorf("reactive: Map count gauge %d != live keys %d", c, live)
+	}
+	return nil
+}

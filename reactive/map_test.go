@@ -1,0 +1,484 @@
+package reactive
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/reactive/policy"
+)
+
+// --- construction and basic semantics --------------------------------
+
+func TestMapZeroValue(t *testing.T) {
+	var m Map[string, int]
+	if got := m.Stats().Mode; got != ModeLocked {
+		t.Fatalf("zero-value mode = %v, want locked", got)
+	}
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("Get on empty map reported a value")
+	}
+	m.Put("a", 1)
+	m.Put("b", 2)
+	m.Put("a", 3)
+	if got := m.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if v, ok := m.Get("a"); !ok || v != 3 {
+		t.Fatalf("Get(a) = %d,%v, want 3,true", v, ok)
+	}
+	m.Delete("a")
+	m.Delete("missing") // no-op
+	if got := m.Len(); got != 1 {
+		t.Fatalf("Len after delete = %d, want 1", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapForcedModesBasicOps(t *testing.T) {
+	for _, mode := range []Mode{ModeLocked, ModeSharded, ModeEpoch} {
+		t.Run(mode.String(), func(t *testing.T) {
+			// The large empty limit pins the forced mode: uncontended
+			// single-threaded use legitimately votes the chain down
+			// otherwise (TestMapDemotesWhenUncontended).
+			m := NewMap[int, string](WithInitialMode(mode), WithEmptyLimit(1<<20))
+			if got := m.Stats().Mode; got != mode {
+				t.Fatalf("mode = %v, want %v", got, mode)
+			}
+			const n = 200
+			for i := 0; i < n; i++ {
+				m.Put(i, fmt.Sprintf("v%d", i))
+			}
+			if got := m.Len(); got != n {
+				t.Fatalf("Len = %d, want %d", got, n)
+			}
+			for i := 0; i < n; i++ {
+				if v, ok := m.Get(i); !ok || v != fmt.Sprintf("v%d", i) {
+					t.Fatalf("Get(%d) = %q,%v", i, v, ok)
+				}
+			}
+			for i := 0; i < n; i += 2 {
+				m.Delete(i)
+			}
+			if got := m.Len(); got != n/2 {
+				t.Fatalf("Len after deletes = %d, want %d", got, n/2)
+			}
+			seen := 0
+			m.Range(func(k int, v string) bool {
+				if k%2 == 0 {
+					t.Fatalf("Range yielded deleted key %d", k)
+				}
+				seen++
+				return true
+			})
+			if seen != n/2 {
+				t.Fatalf("Range yielded %d pairs, want %d", seen, n/2)
+			}
+			// Early stop.
+			seen = 0
+			m.Range(func(int, string) bool { seen++; return false })
+			if seen != 1 {
+				t.Fatalf("Range after false = %d calls, want 1", seen)
+			}
+			// The mode must not have moved during single-threaded use.
+			if got := m.Stats().Mode; got != mode {
+				t.Fatalf("mode drifted to %v during uncontended use", got)
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMapDemotesWhenUncontended verifies the scale-down half of the
+// adaptivity claim: a map forced into a scalable mode that never sees
+// contention walks back down the chain on its own.
+func TestMapDemotesWhenUncontended(t *testing.T) {
+	m := NewMap[int, int](WithInitialMode(ModeSharded))
+	m.Put(1, 1)
+	for i := 0; i < 4*DefaultEmptyLimit && m.Stats().Mode != ModeLocked; i++ {
+		m.Get(1)
+	}
+	if got := m.Stats().Mode; got != ModeLocked {
+		t.Fatalf("mode = %v after uncontended use, want locked", got)
+	}
+	if v, ok := m.Get(1); !ok || v != 1 {
+		t.Fatalf("Get(1) = %d,%v after demotion", v, ok)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapRangeReentrant(t *testing.T) {
+	m := NewMap[int, int](WithInitialMode(ModeEpoch), WithEmptyLimit(1<<20))
+	for i := 0; i < 8; i++ {
+		m.Put(i, i)
+	}
+	// Range snapshots first, so fn may call back into the map without
+	// deadlocking — including mutating it.
+	m.Range(func(k, v int) bool {
+		if k%2 == 0 {
+			m.Delete(k)
+		}
+		if _, ok := m.Get(k); k%2 == 0 && ok {
+			t.Fatalf("key %d visible after delete inside Range", k)
+		}
+		return true
+	})
+	if got := m.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapInitModePanics(t *testing.T) {
+	for _, mode := range []Mode{ModeSpin, ModePark, ModeCAS, ModeCombining} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMap(WithInitialMode(%v)) did not panic", mode)
+				}
+			}()
+			NewMap[int, int](WithInitialMode(mode))
+		}()
+	}
+	// The new mode is rejected by the primitives that have no protocol
+	// for it.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New(WithInitialMode(ModeLocked)) did not panic")
+			}
+		}()
+		New(WithInitialMode(ModeLocked))
+	}()
+}
+
+func TestMapModeTextRoundTrip(t *testing.T) {
+	b, err := ModeLocked.MarshalText()
+	if err != nil || string(b) != "locked" {
+		t.Fatalf("MarshalText = %q,%v", b, err)
+	}
+	var m Mode
+	if err := m.UnmarshalText([]byte("locked")); err != nil || m != ModeLocked {
+		t.Fatalf("UnmarshalText = %v,%v", m, err)
+	}
+}
+
+// --- the three-mode chain, both directions ---------------------------
+
+// TestMapChainWalkBothDirections drives the detection plumbing
+// deterministically through the full chain — locked → sharded → epoch →
+// sharded → locked — verifying after every transition that no key was
+// lost or duplicated and the structural invariants hold.
+func TestMapChainWalkBothDirections(t *testing.T) {
+	m := NewMap[int, int]()
+	// Pin against auto-demotion while the verify sweeps run; each
+	// down-step below re-arms the empty limit explicitly.
+	m.cfg.emptyLimit = 1 << 20
+	const n = 100
+	for i := 0; i < n; i++ {
+		m.Put(i, i*7)
+	}
+	verify := func(want Mode) {
+		t.Helper()
+		if got := m.Stats().Mode; got != want {
+			t.Fatalf("mode = %v, want %v", got, want)
+		}
+		if got := m.Len(); got != n {
+			t.Fatalf("Len = %d, want %d", got, n)
+		}
+		for i := 0; i < n; i++ {
+			if v, ok := m.Get(i); !ok || v != i*7 {
+				t.Fatalf("Get(%d) = %d,%v after switch to %v", i, v, ok, want)
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("in %v: %v", want, err)
+		}
+	}
+
+	// Up: contended locked acquisitions promote to sharded.
+	for i := 0; i < DefaultSpinFailLimit; i++ {
+		m.noteLocked(true)
+	}
+	verify(ModeSharded)
+
+	// Up: contended sharded reads promote to epoch.
+	for i := 0; i < DefaultSpinFailLimit; i++ {
+		m.noteSharded(true, true)
+	}
+	verify(ModeEpoch)
+
+	// Epoch writers see version numbers advance.
+	v0 := m.MapStats().Version
+	m.Put(n, 0)
+	m.Delete(n)
+	if v1 := m.MapStats().Version; v1 < v0+2 {
+		t.Fatalf("version %d after two epoch writes from %d, want >= %d", v1, v0, v0+2)
+	}
+
+	// Down: a quiet grace period (a write with no concurrent readers)
+	// demotes back to sharded on a hair-trigger empty limit.
+	m.cfg.emptyLimit = 1
+	m.Put(n, 0)
+	m.cfg.emptyLimit = 1 << 20
+	m.Delete(n) // runs sharded already; restores the key count
+	verify(ModeSharded)
+	ms := m.MapStats()
+	if ms.Graces == 0 || ms.QuietGraces == 0 {
+		t.Fatalf("grace counters %d/%d after epoch round trip, want both > 0", ms.Graces, ms.QuietGraces)
+	}
+
+	// Down: an uncontended sharded operation demotes to locked.
+	m.cfg.emptyLimit = 1
+	m.noteSharded(false, true)
+	m.cfg.emptyLimit = 1 << 20
+	verify(ModeLocked)
+
+	if sw := m.Stats().Switches; sw != 4 {
+		t.Fatalf("switch count = %d after full round trip, want 4", sw)
+	}
+}
+
+// --- ctx variants ----------------------------------------------------
+
+func TestMapGetCtxPutCtxCancel(t *testing.T) {
+	// Locked mode: block the writer lock directly.
+	m := NewMap[int, int](WithSpinFailLimit(1 << 20))
+	m.Put(1, 1)
+	m.wl.Lock()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, _, err := m.GetCtx(ctx, 1); err != context.DeadlineExceeded {
+		t.Fatalf("GetCtx under held lock = %v, want DeadlineExceeded", err)
+	}
+	if err := m.PutCtx(ctx, 2, 2); err != context.DeadlineExceeded {
+		t.Fatalf("PutCtx under held lock = %v, want DeadlineExceeded", err)
+	}
+	m.wl.Unlock()
+
+	// The failed attempts must have left no residue.
+	if _, ok := m.Get(2); ok {
+		t.Fatal("cancelled PutCtx published its value")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sharded mode: block one shard's spin word.
+	s := NewMap[int, int](WithInitialMode(ModeSharded), WithSpinFailLimit(1<<20), WithEmptyLimit(1<<20))
+	s.Put(1, 1)
+	sh := &s.shards[s.shardIndex(1)]
+	s.lockShard(&sh.lock, nil, nil)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel2()
+	if _, _, err := s.GetCtx(ctx2, 1); err != context.DeadlineExceeded {
+		t.Fatalf("sharded GetCtx under held shard = %v, want DeadlineExceeded", err)
+	}
+	s.unlockShard(&sh.lock)
+	if _, _, err := s.GetCtx(context.Background(), 1); err != nil {
+		t.Fatalf("GetCtx after release = %v", err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- epoch-mode read path --------------------------------------------
+
+// TestMapEpochGetZeroAllocs pins the acceptance property of the epoch
+// read path: a forced-epoch Get allocates nothing — it stamps a per-P
+// cell, validates one gate word, and reads the published table.
+func TestMapEpochGetZeroAllocs(t *testing.T) {
+	m := NewMap[int, int](WithInitialMode(ModeEpoch))
+	for i := 0; i < 64; i++ {
+		m.Put(i, i)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := m.Get(7); !ok {
+			t.Fatal("lost key")
+		}
+	}); allocs != 0 {
+		t.Fatalf("epoch Get allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestMapEpochChurnStress(t *testing.T) {
+	// Stay in epoch mode throughout: readers race writers that are
+	// republishing the table, the interleaving the grace-period proof
+	// is about. Values encode their key (v/1000 == k) so a torn or
+	// reclaimed-too-early read is detectable, and the version gauge
+	// must be monotone across the run.
+	m := NewMap[int, int](WithInitialMode(ModeEpoch), WithEmptyLimit(1<<20))
+	const keys = 32
+	for k := 0; k < keys; k++ {
+		m.Put(k, k*1000)
+	}
+	iters := 2000
+	if testing.Short() {
+		iters = 400
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (g*13 + i) % keys
+				if v, ok := m.Get(k); ok && v/1000 != k {
+					panic(fmt.Sprintf("Get(%d) returned %d: value from another key", k, v))
+				}
+			}
+		}(g)
+	}
+	var lastVer uint64
+	for i := 0; i < iters; i++ {
+		k := i % keys
+		m.Put(k, k*1000+i%1000)
+		if i%64 == 0 {
+			if ver := m.MapStats().Version; ver < lastVer {
+				t.Fatalf("version went backward: %d -> %d", lastVer, ver)
+			} else {
+				lastVer = ver
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := m.Stats().Mode; got != ModeEpoch {
+		t.Fatalf("mode = %v, want epoch (emptyLimit should have pinned it)", got)
+	}
+	if ms := m.MapStats(); ms.Journal != 0 {
+		t.Fatalf("journal depth %d at quiescence", ms.Journal)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- mixed-mode stress -----------------------------------------------
+
+// TestMapStressModeFlips hammers the map with mixed operations while an
+// always-switch policy and an explicit flipper goroutine force
+// transitions along the whole chain, then verifies conservation: every
+// worker owns a key range and tracks its own final model, and the map
+// must agree exactly.
+func TestMapStressModeFlips(t *testing.T) {
+	m := NewMap[int, int](WithPolicy(policy.AlwaysSwitch{}))
+	const workers = 8
+	iters := 1500
+	if testing.Short() {
+		iters = 300
+	}
+	stop := make(chan struct{})
+	var fwg sync.WaitGroup
+	fwg.Add(1)
+	go func() {
+		defer fwg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Push upward; the always-switch policy demotes from epoch
+			// on the first quiet grace, so the chain churns end to end.
+			m.switchMap(mapLocked, mapSharded)
+			m.switchMap(mapSharded, mapEpoch)
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	models := make([]map[int]int, workers)
+	var wg sync.WaitGroup
+	var reads atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			model := make(map[int]int)
+			base := w * 1000
+			for i := 0; i < iters; i++ {
+				k := base + i%64
+				switch i % 5 {
+				case 0, 1, 2:
+					v := w<<20 | i
+					m.Put(k, v)
+					model[k] = v
+				case 3:
+					m.Delete(k)
+					delete(model, k)
+				default:
+					// Cross-worker read; value correctness is checked
+					// against the owner's model after the join.
+					if _, ok := m.Get((i * 37) % (workers * 1000)); ok {
+						reads.Add(1)
+					}
+				}
+			}
+			models[w] = model
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	fwg.Wait()
+
+	live := 0
+	for w, model := range models {
+		live += len(model)
+		for k, want := range model {
+			if v, ok := m.Get(k); !ok || v != want {
+				t.Fatalf("worker %d key %d = %d,%v, want %d,true", w, k, v, ok, want)
+			}
+		}
+	}
+	if got := m.Len(); got != live {
+		t.Fatalf("Len = %d, want %d live keys", got, live)
+	}
+	if sw := m.Stats().Switches; sw == 0 {
+		t.Fatal("no mode switches during flip storm")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- stats -----------------------------------------------------------
+
+func TestMapStatsShape(t *testing.T) {
+	m := NewMap[string, int]()
+	s := m.Stats()
+	if s.Mode != ModeLocked || s.Switches != 0 || s.Waiters != 0 || s.Readers != nil {
+		t.Fatalf("fresh Stats = %+v", s)
+	}
+	ms := m.MapStats()
+	if ms.Shards != 0 || ms.Version != 0 || ms.Journal != 0 {
+		t.Fatalf("fresh MapStats = %+v", ms)
+	}
+	e := NewMap[string, int](WithInitialMode(ModeEpoch))
+	ems := e.MapStats()
+	if ems.Shards == 0 {
+		t.Fatal("forced-epoch map reports no shards (the sharded store is built en route)")
+	}
+	if ems.Version == 0 {
+		t.Fatal("forced-epoch map reports version 0, want the initial publish counted")
+	}
+	if ems.Mode != ModeEpoch {
+		t.Fatalf("forced-epoch MapStats mode = %v", ems.Mode)
+	}
+}

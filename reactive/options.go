@@ -96,10 +96,11 @@ func WithPolicy(p policy.Policy) Option {
 // ModeCombining; NewRWMutex accepts ModeSpin/ModePark (the reader wait
 // protocol) or ModeCAS/ModeSharded/ModeEpoch (the reader registration
 // protocol) — the two mode spaces are disjoint, so one option
-// configures either engine. The constructor panics on a mode the
-// primitive has no protocol for.
+// configures either engine; NewMap accepts ModeLocked, ModeSharded,
+// and ModeEpoch. The constructor panics on a mode the primitive has no
+// protocol for.
 func WithInitialMode(m Mode) Option {
-	if m > ModeEpoch {
+	if m > ModeLocked {
 		panic("reactive: WithInitialMode requires a valid Mode")
 	}
 	return func(c *config) { c.initMode = m; c.initModeSet = true }

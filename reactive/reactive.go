@@ -90,7 +90,10 @@ type Mode uint32
 // ModePark; Counter and FetchOp move along the chain ModeCAS ↔
 // ModeSharded ↔ ModeCombining; RWMutex's reader registration protocol
 // (Stats().Readers) moves along its own chain ModeCAS (centralized
-// word) ↔ ModeSharded (per-P slots) ↔ ModeEpoch (per-P epoch stamps).
+// word) ↔ ModeSharded (per-P slots) ↔ ModeEpoch (per-P epoch stamps);
+// Map moves along the chain ModeLocked (one table under the adaptive
+// mutex) ↔ ModeSharded (per-shard locks) ↔ ModeEpoch (published
+// immutable table, journaled writers).
 const (
 	// ModeSpin is the test-and-test-and-set analogue: waiters spin with
 	// randomized exponential backoff; unlock releases the lock word for
@@ -126,6 +129,13 @@ const (
 	// offline. Best when reads vastly outnumber writes; writers pay a
 	// full grace period.
 	ModeEpoch
+	// ModeLocked is Map's cheapest protocol: one hash table guarded by
+	// the adaptive Mutex, so every operation pays one lock word and the
+	// detection ramp is the mutex's own spin/park machinery. Cheapest
+	// when operations are rare or single-threaded; collapses when
+	// readers and writers collide, which is what promotes the map to
+	// ModeSharded.
+	ModeLocked
 )
 
 // String names the mode.
@@ -141,6 +151,8 @@ func (m Mode) String() string {
 		return "combining"
 	case ModeEpoch:
 		return "epoch"
+	case ModeLocked:
+		return "locked"
 	}
 	return "spin"
 }

@@ -25,6 +25,8 @@ func (m *Mode) UnmarshalText(text []byte) error {
 		*m = ModeCombining
 	case "epoch":
 		*m = ModeEpoch
+	case "locked":
+		*m = ModeLocked
 	default:
 		return fmt.Errorf("reactive: unknown mode %q", text)
 	}
